@@ -1,0 +1,467 @@
+// Benchmarks B1–B8 of EXPERIMENTS.md. Each benchmark regenerates one
+// measurement table of the evaluation; cmd/wfbench prints the same series
+// as aligned tables.
+package exotica_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/atm/flexible"
+	"repro/internal/atm/saga"
+	"repro/internal/engine"
+	"repro/internal/fdl"
+	"repro/internal/fmtm"
+	"repro/internal/model"
+	"repro/internal/rm"
+	"repro/internal/sim"
+	"repro/internal/txdb"
+	"repro/internal/wal"
+)
+
+// ---------------------------------------------------------------- B1 ----
+
+func benchNavigate(b *testing.B, proc *model.Process) {
+	b.Helper()
+	e := sim.NewEngine()
+	if err := e.RegisterProcess(proc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := e.CreateInstance(proc.Name, nil, wal.Discard)
+		if err == nil {
+			err = inst.Start()
+		}
+		if err != nil || !inst.Finished() {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNavigationChain(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchNavigate(b, sim.Chain(fmt.Sprintf("c%d", n), n))
+		})
+	}
+}
+
+func BenchmarkNavigationFanOutIn(b *testing.B) {
+	for _, w := range []int{10, 100} {
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) {
+			benchNavigate(b, sim.FanOutIn(fmt.Sprintf("f%d", w), w))
+		})
+	}
+}
+
+func BenchmarkNavigationDPE(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchNavigate(b, sim.DPEChain(fmt.Sprintf("d%d", n), n))
+		})
+	}
+}
+
+// ---------------------------------------------------------------- B2 ----
+
+func BenchmarkSagaNative(b *testing.B) {
+	for _, n := range []int{5, 10, 20, 50} {
+		for _, abort := range []bool{false, true} {
+			b.Run(fmt.Sprintf("n=%d/abort=%v", n, abort), func(b *testing.B) {
+				spec := sim.NStepSaga("s", n)
+				binding := fmtm.PureSagaBinding(spec)
+				dec := sagaDecider(n, abort)
+				ex := &saga.Executor{Decider: dec}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ex.Execute(spec, binding, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// sagaDecider aborts T(n/2) on every attempt when abort is set, statelessly
+// so it can be reused across b.N iterations.
+func sagaDecider(n int, abort bool) rm.Decider {
+	if !abort {
+		return nil
+	}
+	victim := fmt.Sprintf("T%d", n/2)
+	return deciderFunc(func(name string) rm.Outcome {
+		if name == victim {
+			return rm.Abort
+		}
+		return rm.Commit
+	})
+}
+
+type deciderFunc func(string) rm.Outcome
+
+func (f deciderFunc) Decide(name string) rm.Outcome { return f(name) }
+
+func BenchmarkSagaWorkflow(b *testing.B) {
+	for _, n := range []int{5, 10, 20, 50} {
+		for _, abort := range []bool{false, true} {
+			b.Run(fmt.Sprintf("n=%d/abort=%v", n, abort), func(b *testing.B) {
+				spec := sim.NStepSaga("s", n)
+				e := engine.New()
+				if err := fmtm.RegisterRuntime(e); err != nil {
+					b.Fatal(err)
+				}
+				if err := fmtm.RegisterSaga(e, spec, fmtm.PureSagaBinding(spec), sagaDecider(n, abort), nil); err != nil {
+					b.Fatal(err)
+				}
+				p, err := fmtm.TranslateSaga(spec, fmtm.SagaOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.RegisterProcess(p); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					inst, err := e.CreateInstance(spec.Name, nil, wal.Discard)
+					if err == nil {
+						err = inst.Start()
+					}
+					if err != nil || !inst.Finished() {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------- B3 ----
+
+// flexDecider statically forces one of the Figure 3 scenarios.
+func flexDecider(abortSub string) rm.Decider {
+	if abortSub == "" {
+		return nil
+	}
+	return deciderFunc(func(name string) rm.Outcome {
+		if name == abortSub {
+			return rm.Abort
+		}
+		return rm.Commit
+	})
+}
+
+func BenchmarkFlexibleNative(b *testing.B) {
+	for _, sc := range []struct{ name, abort string }{
+		{"p1", ""}, {"p2_via_T8", "T8"}, {"p3_via_T4", "T4"}, {"abort_via_T2", "T2"},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			spec := sim.Fig3Flexible()
+			binding := fmtm.PureFlexibleBinding(spec)
+			ex := &flexible.Executor{Decider: flexDecider(sc.abort)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Execute(spec, binding, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFlexibleWorkflow(b *testing.B) {
+	for _, sc := range []struct{ name, abort string }{
+		{"p1", ""}, {"p2_via_T8", "T8"}, {"p3_via_T4", "T4"}, {"abort_via_T2", "T2"},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			spec := sim.Fig3Flexible()
+			e := engine.New()
+			if err := fmtm.RegisterRuntime(e); err != nil {
+				b.Fatal(err)
+			}
+			if err := fmtm.RegisterFlexible(e, spec, fmtm.PureFlexibleBinding(spec), flexDecider(sc.abort), nil); err != nil {
+				b.Fatal(err)
+			}
+			p, err := fmtm.TranslateFlexible(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.RegisterProcess(p); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst, err := e.CreateInstance(spec.Name, nil, wal.Discard)
+				if err == nil {
+					err = inst.Start()
+				}
+				if err != nil || !inst.Finished() {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- B4 ----
+
+func BenchmarkTranslateSaga(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			spec := sim.NStepSaga("s", n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fmtm.TranslateSaga(spec, fmtm.SagaOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTranslateFlexible(b *testing.B) {
+	for _, pivots := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("pivots=%d", pivots), func(b *testing.B) {
+			spec := sim.RandomFlexible("f", rand.New(rand.NewSource(1)), pivots)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fmtm.TranslateFlexible(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFDLExport(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p, err := fmtm.TranslateSaga(sim.NStepSaga("s", n), fmtm.SagaOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			file := &fdl.File{Types: p.Types, Processes: []*model.Process{p}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = fdl.Export(file)
+			}
+		})
+	}
+}
+
+func BenchmarkFDLParse(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p, err := fmtm.TranslateSaga(sim.NStepSaga("s", n), fmtm.SagaOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			text := fdl.Export(&fdl.File{Types: p.Types, Processes: []*model.Process{p}})
+			b.SetBytes(int64(len(text)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fdl.Parse(text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- B5 ----
+
+func BenchmarkRecoveryReplay(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := sim.NewEngine()
+			proc := sim.Chain(fmt.Sprintf("c%d", n), n)
+			if err := e.RegisterProcess(proc); err != nil {
+				b.Fatal(err)
+			}
+			log := &wal.MemLog{}
+			inst, err := e.CreateInstance(proc.Name, nil, log)
+			if err == nil {
+				err = inst.Start()
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			records := log.Records()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec, err := engine.Recover(e, records, wal.Discard)
+				if err != nil || !rec.Finished() {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWALMarshal(b *testing.B) {
+	rec := wal.Record{
+		Type: wal.RecFinishedActivity, Instance: "inst-1", Path: "Forward#0/T7", Iter: 3,
+		Values: sim.Chain("x", 1).Types.MustContainer(model.DefaultType).Snapshot(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wal.Marshal(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- B6 ----
+
+func BenchmarkTxDBCommit(b *testing.B) {
+	s := txdb.Open("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := s.Do(func(tx *txdb.Tx) error {
+			return tx.Put(fmt.Sprintf("k%d", i%1024), "v")
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTxDBContention(b *testing.B) {
+	for _, keys := range []int{4, 1024} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			s := txdb.Open("bench")
+			var seq atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				r := rand.New(rand.NewSource(seq.Add(1)))
+				for pb.Next() {
+					k1 := fmt.Sprintf("k%d", r.Intn(keys))
+					k2 := fmt.Sprintf("k%d", r.Intn(keys))
+					_ = s.DoRetry(50, func(tx *txdb.Tx) error {
+						if _, _, err := tx.Get(k1); err != nil {
+							return err
+						}
+						return tx.Put(k2, "v")
+					})
+				}
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------- B7 ----
+
+func BenchmarkAblationWAL(b *testing.B) {
+	const n = 200
+	e := sim.NewEngine()
+	proc := sim.Chain("live", n)
+	if err := e.RegisterProcess(proc); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("wal=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inst, _ := e.CreateInstance("live", nil, wal.Discard)
+			if err := inst.Start(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wal=mem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inst, _ := e.CreateInstance("live", nil, &wal.MemLog{})
+			if err := inst.Start(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAblationDeadPath(b *testing.B) {
+	const n = 200
+	e := sim.NewEngine()
+	if err := e.RegisterProcess(sim.Chain("live", n)); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.RegisterProcess(sim.DPEChain("dead", n)); err != nil {
+		b.Fatal(err)
+	}
+	// Executed activities vs. dead-path-eliminated activities: the latter
+	// skip program invocation, container construction and logging.
+	for _, name := range []string{"live", "dead"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inst, _ := e.CreateInstance(name, nil, wal.Discard)
+				if err := inst.Start(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- B8 ----
+
+func BenchmarkConcurrentScheduler(b *testing.B) {
+	const width = 8
+	const latency = 500 * time.Microsecond
+	for _, pool := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			e := engine.New(engine.WithConcurrency(pool))
+			if err := e.RegisterProgram("ok", sim.OKProgram); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.RegisterProgram("slow", engine.ProgramFunc(func(inv *engine.Invocation) error {
+				time.Sleep(latency)
+				inv.Out.SetRC(0)
+				return nil
+			})); err != nil {
+				b.Fatal(err)
+			}
+			proc := sim.FanOutIn("fan", width)
+			for _, a := range proc.Activities {
+				if a.Name != "A" && a.Name != "Z" {
+					a.Program = "slow"
+				}
+			}
+			if err := e.RegisterProcess(proc); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst, err := e.CreateInstance("fan", nil, wal.Discard)
+				if err == nil {
+					err = inst.Start()
+				}
+				if err != nil || !inst.Finished() {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWALCompact(b *testing.B) {
+	e := sim.NewEngine()
+	proc := sim.Chain("c1000", 1000)
+	if err := e.RegisterProcess(proc); err != nil {
+		b.Fatal(err)
+	}
+	log := &wal.MemLog{}
+	inst, err := e.CreateInstance("c1000", nil, log)
+	if err == nil {
+		err = inst.Start()
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := log.Records()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := wal.Compact(records); len(got) >= len(records) {
+			b.Fatal("compaction removed nothing")
+		}
+	}
+}

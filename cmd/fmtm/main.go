@@ -1,0 +1,68 @@
+// Command fmtm is the Exotica/FMTM pre-processor of Figure 5: it converts
+// high-level specifications of advanced transaction models (sagas and
+// flexible transactions) into workflow process definitions in FDL.
+//
+// Usage:
+//
+//	fmtm [-o out.fdl] [-check] [spec-file]
+//
+// With no spec-file the specification is read from standard input. -check
+// runs the whole pipeline (including FDL re-import and semantic checks)
+// without writing output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fmtm"
+)
+
+func main() {
+	out := flag.String("o", "", "write the generated FDL to this file (default: stdout)")
+	checkOnly := flag.Bool("check", false, "run all pipeline checks but write nothing")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fmtm [-o out.fdl] [-check] [spec-file]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := fmtm.Pipeline(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fmtm: %d saga(s), %d flexible transaction(s) -> %d process template(s), %d program registration(s)\n",
+		len(res.Specs.Sagas), len(res.Specs.Flexible), len(res.File.Processes), len(res.File.Programs))
+	if *checkOnly {
+		return
+	}
+	if *out == "" {
+		fmt.Print(res.FDL)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(res.FDL), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fmtm: %v\n", err)
+	os.Exit(1)
+}

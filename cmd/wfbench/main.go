@@ -1,0 +1,65 @@
+// Command wfbench regenerates the evaluation of EXPERIMENTS.md: the
+// correctness experiments E1–E6 that reproduce the paper's figures and
+// appendix traces, and the measurement tables B1–B8.
+//
+//	wfbench                  # run everything
+//	wfbench -experiment E2   # one correctness experiment
+//	wfbench -bench B2        # one measurement table
+//	wfbench -experiment none # measurements only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "E1..E6, all, or none")
+	bench := flag.String("bench", "all", "B1..B8, S1, all, or none")
+	flag.Parse()
+
+	experiments := map[string]func() *sim.Report{
+		"E1": sim.RunE1, "E2": sim.RunE2, "E3": sim.RunE3, "E4": sim.RunE4, "E5": sim.RunE5, "E6": sim.RunE6,
+	}
+	benches := map[string]func() *sim.Report{
+		"B1": sim.RunB1, "B2": sim.RunB2, "B3": sim.RunB3, "B4": sim.RunB4,
+		"B5": sim.RunB5, "B6": sim.RunB6, "B7": sim.RunB7, "B8": sim.RunB8,
+		"S1": sim.RunS1,
+	}
+
+	failed := false
+	run := func(sel string, all map[string]func() *sim.Report, order []string) {
+		switch strings.ToLower(sel) {
+		case "none":
+			return
+		case "all":
+			for _, id := range order {
+				rep := all[id]()
+				fmt.Println(rep)
+				if !rep.Pass {
+					failed = true
+				}
+			}
+		default:
+			f, ok := all[strings.ToUpper(sel)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "wfbench: unknown selection %q\n", sel)
+				os.Exit(2)
+			}
+			rep := f()
+			fmt.Println(rep)
+			if !rep.Pass {
+				failed = true
+			}
+		}
+	}
+	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6"})
+	run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "S1"})
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+// Command wfrun imports an FDL definition file, instantiates a process
+// template and navigates it to completion, printing the audit trail — the
+// right-hand side of the Figure 5 pipeline.
+//
+// Every program registered in the FDL file is bound to a simulated
+// transactional resource manager whose outcome can be scripted from the
+// command line, so the compensation and alternative-path machinery of
+// generated processes can be observed without writing any code:
+//
+//	wfrun -process travel -abort book_car travel.fdl
+//	wfrun -process fig3 -abort T8 -abort-n T7=2 fig3.fdl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/fdl"
+	"repro/internal/fmtm"
+	"repro/internal/rm"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	process := flag.String("process", "", "process template to instantiate (default: the file's first process)")
+	trace := flag.Bool("trace", true, "print the audit trail")
+	var aborts, abortNs multiFlag
+	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
+	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... file.fdl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	file, err := fdl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := file.Check(); err != nil {
+		fatal(err)
+	}
+	if len(file.Processes) == 0 {
+		fatal(fmt.Errorf("no processes in %s", flag.Arg(0)))
+	}
+	name := *process
+	if name == "" {
+		name = file.Processes[0].Name
+	}
+
+	inj := rm.NewInjector()
+	for _, a := range aborts {
+		inj.AbortAlways(a)
+	}
+	for _, spec := range abortNs {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-abort-n wants name=k, got %q", spec))
+		}
+		k, err := strconv.Atoi(parts[1])
+		if err != nil {
+			fatal(fmt.Errorf("-abort-n %q: %v", spec, err))
+		}
+		inj.AbortN(parts[0], k)
+	}
+
+	rec := &rm.Recorder{}
+	e := engine.New()
+	for _, prog := range file.Programs {
+		if prog.Name == fmtm.CopyName {
+			if err := fmtm.RegisterRuntime(e); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		sub := rm.Subtransaction{Name: prog.Name}
+		if err := e.RegisterProgram(prog.Name, rm.Program(sub, inj, rec)); err != nil {
+			fatal(err)
+		}
+	}
+	if err := fmtm.Install(e, file); err != nil {
+		fatal(err)
+	}
+
+	inst, err := e.CreateInstance(name, nil, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		fatal(err)
+	}
+	if *trace {
+		for _, ev := range inst.Trail() {
+			fmt.Println(ev)
+		}
+	}
+	fmt.Printf("instance %s of %s: finished=%v\n", inst.ID(), name, inst.Finished())
+	if events := rec.Events(); len(events) > 0 {
+		var parts []string
+		for _, e := range events {
+			parts = append(parts, e.String())
+		}
+		fmt.Printf("transactional history: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Printf("output: %s\n", inst.Output())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wfrun: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,148 @@
+// Multidatabase flexible transaction: the paper's Figure 3 example (§4.2)
+// against three independent local databases. The funds-transfer scenario:
+// withdraw from a checking account, then try the preferred investment
+// route (bonds then stocks then settlement); if the settlement fails,
+// unwind the bond and stock purchases and fall back to a plain savings
+// deposit that is retried until the bank accepts it — the execution paths
+// p1 > p2 > p3 of the paper.
+//
+// Every subtransaction runs as a real ACID transaction on its local txdb
+// store; compensations undo committed writes; the workflow encoding
+// (Figure 4) produced by Exotica/FMTM drives the whole thing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/atm/flexible"
+	"repro/internal/engine"
+	"repro/internal/fmtm"
+	"repro/internal/rm"
+	"repro/internal/txdb"
+)
+
+func main() {
+	mb := txdb.NewMultibase("bank", "broker", "clearing")
+
+	spec := &flexible.Spec{
+		Name: "transfer",
+		Subs: []flexible.SubSpec{
+			{Name: "withdraw", Compensatable: true, Compensation: "redeposit"},
+			{Name: "open_position"}, // pivot: the broker account is opened for good
+			{Name: "savings_deposit", Retriable: true},
+			{Name: "allocate"}, // pivot: funds allocated at the broker
+			{Name: "buy_bonds", Compensatable: true, Compensation: "sell_bonds"},
+			{Name: "buy_stocks", Compensatable: true, Compensation: "sell_stocks"},
+			{Name: "clearing_deposit", Retriable: true},
+			{Name: "settle"}, // pivot: the settlement house accepts
+		},
+		Paths: [][]string{
+			{"withdraw", "open_position", "allocate", "buy_bonds", "buy_stocks", "settle"},
+			{"withdraw", "open_position", "allocate", "clearing_deposit"},
+			{"withdraw", "open_position", "savings_deposit"},
+		},
+	}
+
+	binding := flexible.Binding{
+		"withdraw":         put("withdraw", mb.Store("bank"), "checking", "-1000"),
+		"redeposit":        del("redeposit", mb.Store("bank"), "checking"),
+		"open_position":    put("open_position", mb.Store("broker"), "position", "open"),
+		"savings_deposit":  put("savings_deposit", mb.Store("bank"), "savings", "+1000"),
+		"allocate":         put("allocate", mb.Store("broker"), "allocation", "1000"),
+		"buy_bonds":        put("buy_bonds", mb.Store("broker"), "bonds", "600"),
+		"sell_bonds":       del("sell_bonds", mb.Store("broker"), "bonds"),
+		"buy_stocks":       put("buy_stocks", mb.Store("broker"), "stocks", "400"),
+		"sell_stocks":      del("sell_stocks", mb.Store("broker"), "stocks"),
+		"clearing_deposit": put("clearing_deposit", mb.Store("clearing"), "deposit", "1000"),
+		"settle":           put("settle", mb.Store("clearing"), "settled", "yes"),
+	}
+
+	scenarios := []struct {
+		title  string
+		script func(*rm.Injector)
+	}{
+		{"p1: everything commits", func(*rm.Injector) {}},
+		{"p2: settlement fails -> unwind stocks+bonds, clearing deposit", func(i *rm.Injector) {
+			i.AbortAlways("settle")
+		}},
+		{"p3: allocation fails -> savings deposit (retried twice)", func(i *rm.Injector) {
+			i.AbortAlways("allocate")
+			i.AbortN("savings_deposit", 2)
+		}},
+		{"clean abort: broker rejects the position -> undo the withdrawal", func(i *rm.Injector) {
+			i.AbortAlways("open_position")
+		}},
+	}
+
+	for _, sc := range scenarios {
+		fmt.Printf("== %s\n", sc.title)
+		resetStores(mb)
+		inj := rm.NewInjector()
+		sc.script(inj)
+		rec := &rm.Recorder{}
+
+		e := engine.New()
+		must(fmtm.RegisterRuntime(e))
+		must(fmtm.RegisterFlexible(e, spec, binding, inj, rec))
+		p, err := fmtm.TranslateFlexible(spec)
+		must(err)
+		must(e.RegisterProcess(p))
+
+		inst, err := e.CreateInstance("transfer", nil, nil)
+		must(err)
+		must(inst.Start())
+
+		fmt.Print("   history: ")
+		for i, ev := range rec.Events() {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(ev)
+		}
+		fmt.Println()
+		result := inst.Output().MustGet("Result").AsInt()
+		switch result {
+		case 0:
+			fmt.Println("   outcome: committed")
+		default:
+			fmt.Println("   outcome: aborted (all effects undone)")
+		}
+		for _, name := range []string{"bank", "broker", "clearing"} {
+			fmt.Printf("   %-8s: %d row(s)\n", name, mb.Store(name).Len())
+		}
+		fmt.Println()
+	}
+}
+
+func put(name string, s *txdb.Store, key, val string) rm.Subtransaction {
+	return rm.Subtransaction{Name: name, Store: s, Work: func(tx *txdb.Tx) error {
+		return tx.Put(key, val)
+	}}
+}
+
+func del(name string, s *txdb.Store, key string) rm.Subtransaction {
+	return rm.Subtransaction{Name: name, Store: s, Work: func(tx *txdb.Tx) error {
+		return tx.Delete(key)
+	}}
+}
+
+func resetStores(mb *txdb.Multibase) {
+	for _, n := range mb.Names() {
+		s := mb.Store(n)
+		_ = s.Do(func(tx *txdb.Tx) error {
+			for _, k := range []string{"checking", "savings", "position", "allocation", "bonds", "stocks", "deposit", "settled"} {
+				if err := tx.Delete(k); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

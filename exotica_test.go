@@ -1,0 +1,129 @@
+package exotica_test
+
+import (
+	"strings"
+	"testing"
+
+	exotica "repro"
+	"repro/internal/rm"
+)
+
+const facadeSpec = `
+SAGA 'order'
+  STEP 'reserve' COMPENSATION 'unreserve'
+  STEP 'charge'  COMPENSATION 'refund'
+END 'order'
+
+SAGA 'etl'
+  STEP 'extract' COMPENSATION 'undo_extract'
+  STEP 'load'    COMPENSATION 'undo_load' AFTER 'extract'
+END 'etl'
+
+FLEXIBLE 'pay'
+  SUB 'card' PIVOT
+  SUB 'invoice' RETRIABLE
+  PATH 'card'
+  PATH 'invoice'
+END 'pay'
+`
+
+func TestFacadeCompileAndRun(t *testing.T) {
+	c, err := exotica.Compile(facadeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := c.Processes()
+	if len(procs) != 3 {
+		t.Fatalf("processes: %v", procs)
+	}
+	if !strings.Contains(c.FDL(), "PROCESS 'order'") {
+		t.Fatal("FDL missing order process")
+	}
+
+	// Saga aborts at charge: reserve must be compensated.
+	inj := rm.NewInjector()
+	inj.AbortAlways("charge")
+	events, err := c.Run("order", inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []string
+	for _, e := range events {
+		hist = append(hist, e.String())
+	}
+	want := "reserve:commit charge:abort unreserve:commit"
+	if got := strings.Join(hist, " "); got != want {
+		t.Fatalf("history = %s, want %s", got, want)
+	}
+
+	// Flexible transaction: the pivot fails, the retriable alternative
+	// commits.
+	inj2 := rm.NewInjector()
+	inj2.AbortAlways("card")
+	events2, err := c.Run("pay", inj2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events2) != 2 || events2[1].String() != "invoice:commit" {
+		t.Fatalf("pay history: %v", events2)
+	}
+
+	// Unknown process and invalid specs are rejected.
+	if _, err := c.Run("ghost", nil); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	if _, err := exotica.Compile("SAGA 'x'"); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestFacadeGeneralSaga(t *testing.T) {
+	c, err := exotica.Compile(facadeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := rm.NewInjector()
+	inj.AbortAlways("load")
+	events, err := c.Run("etl", inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []string
+	for _, e := range events {
+		hist = append(hist, e.String())
+	}
+	want := "extract:commit load:abort undo_extract:commit"
+	if got := strings.Join(hist, " "); got != want {
+		t.Fatalf("history = %s, want %s", got, want)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	c, err := exotica.Compile(facadeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := c.SimulateSaga("order", map[string]float64{"charge": 1}, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.CommitRate != 0 || sres.MeanCompensations != 1 {
+		t.Fatalf("saga sim: %+v", sres)
+	}
+	fres, err := c.SimulateFlexible("pay", map[string]float64{"card": 0.5}, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.AbortRate != 0 { // the retriable invoice path guarantees commit
+		t.Fatalf("flexible sim: %+v", fres)
+	}
+	if fres.PathRate["card"] < 0.4 || fres.PathRate["card"] > 0.6 {
+		t.Fatalf("card rate: %+v", fres.PathRate)
+	}
+	if _, err := c.SimulateSaga("ghost", nil, 1, 1); err == nil {
+		t.Fatal("unknown saga accepted")
+	}
+	if _, err := c.SimulateFlexible("ghost", nil, 1, 1); err == nil {
+		t.Fatal("unknown flexible accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package account implements the accounting capability the paper credits
+// workflow systems with in §2/§3.3 ("support for organizational aspects,
+// user interface, monitoring, accounting, simulation"): it derives
+// per-activity and per-instance statistics from an instance's audit
+// trail — executions, retries, dead paths, waiting time on worklists and
+// execution time — using the event timestamps the engine records.
+package account
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// ActivityStats aggregates the executions of one activity path.
+type ActivityStats struct {
+	Path string
+	// Executions counts completed executions (exit-condition retries each
+	// count; a forced finish counts too).
+	Executions int
+	// Loops counts exit-condition reschedules.
+	Loops int
+	// DeadPath reports the activity was eliminated without running.
+	DeadPath bool
+	// Forced reports a user forced the activity to finish.
+	Forced bool
+	// WaitSeconds accumulates ready->started time (worklist latency for
+	// manual activities; queueing for automatic ones).
+	WaitSeconds int64
+	// BusySeconds accumulates started->finished time.
+	BusySeconds int64
+	// Aborts counts completed executions with a non-zero return code.
+	Aborts int
+}
+
+// InstanceStats is the accounting summary of one process instance.
+type InstanceStats struct {
+	InstanceID string
+	Process    string
+	// DurationSeconds spans the created event to the done event (or the
+	// last event when the instance has not finished).
+	DurationSeconds int64
+	Finished        bool
+	Canceled        bool
+	Activities      []ActivityStats // sorted by path
+}
+
+// Summarize computes accounting statistics from an instance's audit trail.
+func Summarize(inst *engine.Instance) InstanceStats {
+	trail := inst.Trail()
+	stats := InstanceStats{InstanceID: inst.ID(), Process: inst.ProcessName(), Finished: inst.Finished()}
+	byPath := map[string]*ActivityStats{}
+	get := func(path string) *ActivityStats {
+		as := byPath[path]
+		if as == nil {
+			as = &ActivityStats{Path: path}
+			byPath[path] = as
+		}
+		return as
+	}
+	readyAt := map[string]int64{}
+	startedAt := map[string]int64{}
+	var createdAt, lastAt int64
+	for i, ev := range trail {
+		if i == 0 {
+			createdAt = ev.At
+		}
+		lastAt = ev.At
+		switch ev.Kind {
+		case engine.EvReady:
+			readyAt[ev.Path] = ev.At
+		case engine.EvStarted:
+			startedAt[ev.Path] = ev.At
+			if t, ok := readyAt[ev.Path]; ok {
+				get(ev.Path).WaitSeconds += ev.At - t
+				delete(readyAt, ev.Path)
+			}
+		case engine.EvFinished:
+			as := get(ev.Path)
+			as.Executions++
+			if ev.RC != 0 {
+				as.Aborts++
+			}
+			if t, ok := startedAt[ev.Path]; ok {
+				as.BusySeconds += ev.At - t
+				delete(startedAt, ev.Path)
+			}
+		case engine.EvLooped:
+			get(ev.Path).Loops++
+		case engine.EvDeadPath:
+			get(ev.Path).DeadPath = true
+		case engine.EvForced:
+			get(ev.Path).Forced = true
+		case engine.EvCanceled:
+			stats.Canceled = true
+		}
+	}
+	stats.DurationSeconds = lastAt - createdAt
+	for _, as := range byPath {
+		stats.Activities = append(stats.Activities, *as)
+	}
+	sort.Slice(stats.Activities, func(i, j int) bool {
+		return stats.Activities[i].Path < stats.Activities[j].Path
+	})
+	return stats
+}
+
+// String renders the summary as an aligned accounting report.
+func (s InstanceStats) String() string {
+	var sb strings.Builder
+	state := "running"
+	switch {
+	case s.Canceled:
+		state = "canceled"
+	case s.Finished:
+		state = "finished"
+	}
+	fmt.Fprintf(&sb, "instance %s (process %s): %s, %ds\n", s.InstanceID, s.Process, state, s.DurationSeconds)
+	fmt.Fprintf(&sb, "  %-30s %5s %5s %6s %5s %5s %s\n", "activity", "execs", "loops", "aborts", "wait", "busy", "flags")
+	for _, a := range s.Activities {
+		flags := ""
+		if a.DeadPath {
+			flags += "dead "
+		}
+		if a.Forced {
+			flags += "forced"
+		}
+		fmt.Fprintf(&sb, "  %-30s %5d %5d %6d %4ds %4ds %s\n",
+			a.Path, a.Executions, a.Loops, a.Aborts, a.WaitSeconds, a.BusySeconds, strings.TrimSpace(flags))
+	}
+	return sb.String()
+}

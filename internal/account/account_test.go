@@ -1,0 +1,203 @@
+package account
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/model"
+	"repro/internal/org"
+)
+
+// buildEngine assembles an engine with a controllable clock that advances
+// a fixed amount per program invocation, so durations are deterministic.
+func buildEngine(t *testing.T, now *int64) *engine.Engine {
+	t.Helper()
+	dir := org.NewDirectory()
+	if err := dir.AddPerson(org.Person{Name: "alice", Roles: []string{"clerk"}}); err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(engine.WithOrganization(dir), engine.WithClock(func() int64 { return *now }))
+	mustReg := func(name string, secs int64, rc int64, failFirst int) {
+		t.Helper()
+		remaining := failFirst
+		err := e.RegisterProgram(name, engine.ProgramFunc(func(inv *engine.Invocation) error {
+			*now += secs
+			if remaining > 0 {
+				remaining--
+				inv.Out.SetRC(1)
+				return nil
+			}
+			inv.Out.SetRC(rc)
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustReg("fast", 1, 0, 0)
+	mustReg("slow", 10, 0, 0)
+	mustReg("flaky", 2, 0, 2) // aborts twice (2s each), then commits
+	mustReg("abort", 1, 1, 0)
+	return e
+}
+
+func TestSummarizeDurationsAndRetries(t *testing.T) {
+	now := int64(100)
+	e := buildEngine(t, &now)
+	p := model.NewProcess("Acct")
+	p.Activities = []*model.Activity{
+		{Name: "a", Kind: model.KindProgram, Program: "fast"},
+		{Name: "b", Kind: model.KindProgram, Program: "slow"},
+		{Name: "r", Kind: model.KindProgram, Program: "flaky", Exit: expr.MustParse("RC = 0")},
+	}
+	p.Control = []*model.ControlConnector{
+		{From: "a", To: "b", Condition: expr.MustParse("RC = 0")},
+		{From: "b", To: "r", Condition: expr.MustParse("RC = 0")},
+	}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("Acct", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(inst)
+	if !s.Finished || s.Canceled {
+		t.Fatalf("state: %+v", s)
+	}
+	// Total: 1 + 10 + 3*2 = 17 seconds.
+	if s.DurationSeconds != 17 {
+		t.Fatalf("duration = %d, want 17", s.DurationSeconds)
+	}
+	byPath := map[string]ActivityStats{}
+	for _, a := range s.Activities {
+		byPath[a.Path] = a
+	}
+	if got := byPath["b"]; got.BusySeconds != 10 || got.Executions != 1 {
+		t.Fatalf("b: %+v", got)
+	}
+	if got := byPath["r"]; got.Executions != 3 || got.Loops != 2 || got.Aborts != 2 || got.BusySeconds != 6 {
+		t.Fatalf("r: %+v", got)
+	}
+	out := s.String()
+	if !strings.Contains(out, "finished") || !strings.Contains(out, "r") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestSummarizeWorklistWait(t *testing.T) {
+	now := int64(0)
+	e := buildEngine(t, &now)
+	p := model.NewProcess("Wait")
+	p.Activities = []*model.Activity{{
+		Name: "m", Kind: model.KindProgram, Program: "fast",
+		Start: model.StartManual, Staff: model.Staff{Role: "clerk"},
+	}}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("Wait", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The item sits on the worklist for 42 seconds before alice selects it.
+	now += 42
+	item := e.Worklists().List("alice")[0]
+	if err := inst.SelectWork("alice", item.ID); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(inst)
+	if len(s.Activities) != 1 || s.Activities[0].WaitSeconds != 42 {
+		t.Fatalf("wait accounting: %+v", s.Activities)
+	}
+}
+
+func TestSummarizeDeadPathAndAborts(t *testing.T) {
+	now := int64(0)
+	e := buildEngine(t, &now)
+	p := model.NewProcess("Dead")
+	p.Activities = []*model.Activity{
+		{Name: "a", Kind: model.KindProgram, Program: "abort"},
+		{Name: "b", Kind: model.KindProgram, Program: "fast"},
+	}
+	p.Control = []*model.ControlConnector{{From: "a", To: "b", Condition: expr.MustParse("RC = 0")}}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := e.CreateInstance("Dead", nil, nil)
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(inst)
+	byPath := map[string]ActivityStats{}
+	for _, a := range s.Activities {
+		byPath[a.Path] = a
+	}
+	if byPath["a"].Aborts != 1 {
+		t.Fatalf("a: %+v", byPath["a"])
+	}
+	if !byPath["b"].DeadPath || byPath["b"].Executions != 0 {
+		t.Fatalf("b: %+v", byPath["b"])
+	}
+	if !strings.Contains(s.String(), "dead") {
+		t.Fatal("dead flag not rendered")
+	}
+}
+
+func TestSummarizeCanceled(t *testing.T) {
+	now := int64(0)
+	e := buildEngine(t, &now)
+	p := model.NewProcess("Cxl")
+	p.Activities = []*model.Activity{{
+		Name: "m", Kind: model.KindProgram, Program: "fast",
+		Start: model.StartManual, Staff: model.Staff{Role: "clerk"},
+	}}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := e.CreateInstance("Cxl", nil, nil)
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(inst)
+	if !s.Canceled {
+		t.Fatal("cancellation not accounted")
+	}
+	if !strings.Contains(s.String(), "canceled") {
+		t.Fatal("canceled not rendered")
+	}
+}
+
+func TestEngineInstanceMonitor(t *testing.T) {
+	now := int64(0)
+	e := buildEngine(t, &now)
+	p := model.NewProcess("Mon")
+	p.Activities = []*model.Activity{{Name: "a", Kind: model.KindProgram, Program: "fast"}}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := e.CreateInstance("Mon", nil, nil)
+	i2, _ := e.CreateInstance("Mon", nil, nil)
+	if err := i1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	infos := e.Instances()
+	if len(infos) != 2 {
+		t.Fatalf("instances: %+v", infos)
+	}
+	if infos[0].Status != "finished" || infos[1].Status != "created" {
+		t.Fatalf("statuses: %+v", infos)
+	}
+	_ = i2
+}

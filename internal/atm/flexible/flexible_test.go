@@ -1,0 +1,544 @@
+package flexible
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rm"
+)
+
+// Fig3 is the paper's Figure 3 flexible transaction: T1, T5, T6
+// compensatable; T2, T4, T8 pivot; T3, T7 retriable. Paths (preference
+// order): p1 = T1 T2 T4 T5 T6 T8, p2 = T1 T2 T4 T7, p3 = T1 T2 T3.
+//
+// (The paper's prose lists T3 as both compensatable and retriable — a typo
+// it itself acknowledges by noting a subtransaction can be both; the
+// execution semantics it describes only use T3's retriability, which is
+// what we model.)
+func Fig3() *Spec {
+	return &Spec{
+		Name: "Fig3",
+		Subs: []SubSpec{
+			{Name: "T1", Compensatable: true, Compensation: "C1"},
+			{Name: "T2"}, // pivot
+			{Name: "T3", Retriable: true},
+			{Name: "T4"}, // pivot
+			{Name: "T5", Compensatable: true, Compensation: "C5"},
+			{Name: "T6", Compensatable: true, Compensation: "C6"},
+			{Name: "T7", Retriable: true},
+			{Name: "T8"}, // pivot
+		},
+		Paths: [][]string{
+			{"T1", "T2", "T4", "T5", "T6", "T8"},
+			{"T1", "T2", "T4", "T7"},
+			{"T1", "T2", "T3"},
+		},
+	}
+}
+
+func bindPure(spec *Spec) Binding {
+	b := Binding{}
+	for _, sub := range spec.Subs {
+		b[sub.Name] = rm.Subtransaction{Name: sub.Name}
+		if sub.Compensation != "" {
+			b[sub.Compensation] = rm.Subtransaction{Name: sub.Compensation}
+		}
+	}
+	return b
+}
+
+func history(rec *rm.Recorder) string {
+	var parts []string
+	for _, e := range rec.Events() {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := Fig3().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(s *Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Subs = nil },
+		func(s *Spec) { s.Paths = nil },
+		func(s *Spec) { s.Subs[0].Name = "" },
+		func(s *Spec) { s.Subs = append(s.Subs, SubSpec{Name: "T1"}) },
+		func(s *Spec) { s.Subs[0].Compensation = "" },                     // compensatable without compensation
+		func(s *Spec) { s.Subs[1].Compensation = "Cx" },                   // compensation on non-compensatable
+		func(s *Spec) { s.Subs = append(s.Subs, SubSpec{Name: "C1"}) },    // clash with compensation name
+		func(s *Spec) { s.Paths = append(s.Paths, []string{}) },           // empty path
+		func(s *Spec) { s.Paths = append(s.Paths, []string{"ghost"}) },    // undeclared
+		func(s *Spec) { s.Paths = append(s.Paths, []string{"T1", "T1"}) }, // repeat in path
+		func(s *Spec) { s.Paths = append(s.Paths, []string{"T1", "T2"}) }, // prefix of p1
+		func(s *Spec) { s.Subs = append(s.Subs, SubSpec{Name: "unused", Retriable: true}) },
+	}
+	for i, mut := range mutations {
+		s := Fig3()
+		mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	// A compensation on a non-compensatable sub is caught by the iff rule.
+	s := Fig3()
+	s.Subs[1].Compensatable = false
+	s.Subs[1].Compensation = "CX"
+	if err := s.Validate(); err == nil {
+		t.Error("compensation on pivot accepted")
+	}
+}
+
+func TestSubKindAndPivot(t *testing.T) {
+	spec := Fig3()
+	if !spec.Sub("T2").Pivot() || spec.Sub("T1").Pivot() || spec.Sub("T3").Pivot() {
+		t.Fatal("pivot detection wrong")
+	}
+	kinds := map[string]string{
+		"T1": "compensatable", "T2": "pivot", "T3": "retriable",
+	}
+	for n, want := range kinds {
+		if got := spec.Sub(n).Kind(); got != want {
+			t.Errorf("Kind(%s) = %s, want %s", n, got, want)
+		}
+	}
+	both := SubSpec{Name: "x", Compensatable: true, Retriable: true, Compensation: "cx"}
+	if both.Kind() != "compensatable+retriable" {
+		t.Error("both kind")
+	}
+	if spec.Sub("nope") != nil {
+		t.Error("phantom sub")
+	}
+}
+
+func TestTrieShape(t *testing.T) {
+	trie, err := BuildTrie(Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := trie.Root
+	if len(root.Children) != 1 || root.Children[0].Sub != "T1" {
+		t.Fatalf("root children: %+v", root.Children)
+	}
+	t1 := root.Children[0]
+	t2 := t1.Children[0]
+	if len(t2.Children) != 2 || t2.Children[0].Sub != "T4" || t2.Children[1].Sub != "T3" {
+		t.Fatalf("T2 children wrong (preference order): %v", subNames(t2.Children))
+	}
+	t4 := t2.Children[0]
+	if len(t4.Children) != 2 || t4.Children[0].Sub != "T5" || t4.Children[1].Sub != "T7" {
+		t.Fatalf("T4 children wrong: %v", subNames(t4.Children))
+	}
+	if got := len(trie.Nodes()); got != 9 { // root + 8 subs
+		t.Fatalf("nodes = %d", got)
+	}
+	// PathTo reconstructs the chain.
+	t8 := t4.Children[0].Children[0].Children[0]
+	if got := strings.Join(PathTo(t8), " "); got != "T1 T2 T4 T5 T6 T8" {
+		t.Fatalf("PathTo(T8) = %s", got)
+	}
+}
+
+func subNames(ns []*Node) []string {
+	var out []string
+	for _, n := range ns {
+		out = append(out, n.Sub)
+	}
+	return out
+}
+
+func TestFallback(t *testing.T) {
+	trie, err := BuildTrie(Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) *Node {
+		for _, n := range trie.Nodes() {
+			if n.Sub == name {
+				return n
+			}
+		}
+		t.Fatalf("node %s not found", name)
+		return nil
+	}
+	cases := []struct {
+		fail string
+		alt  string // "" = global abort
+		comp string // space-joined compensated subs, nearest first
+	}{
+		{"T1", "", ""},
+		{"T2", "", "T1"},
+		{"T4", "T3", ""},
+		{"T5", "T7", ""},
+		{"T6", "T7", "T5"},
+		{"T8", "T7", "T6 T5"},
+	}
+	for _, c := range cases {
+		alt, comp := Fallback(find(c.fail))
+		gotAlt := ""
+		if alt != nil {
+			gotAlt = alt.Sub
+		}
+		if gotAlt != c.alt {
+			t.Errorf("Fallback(%s) alt = %q, want %q", c.fail, gotAlt, c.alt)
+		}
+		if got := strings.Join(subNames(comp), " "); got != c.comp {
+			t.Errorf("Fallback(%s) comp = %q, want %q", c.fail, got, c.comp)
+		}
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	trie, err := BuildTrie(Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trie.CheckWellFormed(); err != nil {
+		t.Fatalf("Fig3 should be well-formed: %v", err)
+	}
+	// Make T5 non-compensatable: T8's abort would need to undo it.
+	bad := Fig3()
+	bad.Subs[4] = SubSpec{Name: "T5"} // pivot now
+	trie2, err := BuildTrie(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trie2.CheckWellFormed(); err == nil {
+		t.Fatal("ill-formed spec accepted")
+	}
+	// A lone pivot with no alternatives is fine (clean abort, nothing
+	// committed before it).
+	lone := &Spec{Name: "lone", Subs: []SubSpec{{Name: "P"}}, Paths: [][]string{{"P"}}}
+	trie3, err := BuildTrie(lone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trie3.CheckWellFormed(); err != nil {
+		t.Fatalf("lone pivot: %v", err)
+	}
+	// Two pivots in sequence with no alternative: the second pivot's abort
+	// would require compensating the first — ill-formed.
+	two := &Spec{Name: "two", Subs: []SubSpec{{Name: "P1"}, {Name: "P2"}}, Paths: [][]string{{"P1", "P2"}}}
+	trie4, err := BuildTrie(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trie4.CheckWellFormed(); err == nil {
+		t.Fatal("two sequential pivots accepted")
+	}
+}
+
+func TestCheckStrict(t *testing.T) {
+	// Fig3 violates MRSK92 (multiple pivots per path) but satisfies
+	// ZNBB94; the paper explains exactly this relaxation.
+	if err := Fig3().CheckStrict(); err == nil {
+		t.Fatal("Fig3 satisfies the strict MRSK92 rules unexpectedly")
+	}
+	ok := &Spec{
+		Name: "strictOK",
+		Subs: []SubSpec{
+			{Name: "A", Compensatable: true, Compensation: "CA"},
+			{Name: "P"},
+			{Name: "R", Retriable: true},
+		},
+		Paths: [][]string{{"A", "P", "R"}},
+	}
+	if err := ok.CheckStrict(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// appendix scenarios: inject each abort of the appendix and compare the
+// observable history with the paper's described behaviour.
+func TestFig3AppendixScenarios(t *testing.T) {
+	cases := []struct {
+		name      string
+		inject    func(inj *rm.Injector)
+		committed bool
+		path      string
+		history   string
+	}{
+		{
+			name:      "all_commit_p1",
+			inject:    func(*rm.Injector) {},
+			committed: true,
+			path:      "T1 T2 T4 T5 T6 T8",
+			history:   "T1:commit T2:commit T4:commit T5:commit T6:commit T8:commit",
+		},
+		{
+			name:      "T1_aborts_clean_abort",
+			inject:    func(i *rm.Injector) { i.AbortAlways("T1") },
+			committed: false,
+			history:   "T1:abort",
+		},
+		{
+			name:      "T2_aborts_compensate_T1",
+			inject:    func(i *rm.Injector) { i.AbortAlways("T2") },
+			committed: false,
+			history:   "T1:commit T2:abort C1:commit",
+		},
+		{
+			name:      "T4_aborts_T3_retried",
+			inject:    func(i *rm.Injector) { i.AbortAlways("T4"); i.AbortN("T3", 2) },
+			committed: true,
+			path:      "T1 T2 T3",
+			history:   "T1:commit T2:commit T4:abort T3:abort T3:abort T3:commit",
+		},
+		{
+			name:      "T5_aborts_T7",
+			inject:    func(i *rm.Injector) { i.AbortAlways("T5") },
+			committed: true,
+			path:      "T1 T2 T4 T7",
+			history:   "T1:commit T2:commit T4:commit T5:abort T7:commit",
+		},
+		{
+			name:      "T6_aborts_compensate_T5_then_T7",
+			inject:    func(i *rm.Injector) { i.AbortAlways("T6") },
+			committed: true,
+			path:      "T1 T2 T4 T7",
+			history:   "T1:commit T2:commit T4:commit T5:commit T6:abort C5:commit T7:commit",
+		},
+		{
+			name:      "T8_aborts_compensate_T6_T5_then_T7",
+			inject:    func(i *rm.Injector) { i.AbortAlways("T8") },
+			committed: true,
+			path:      "T1 T2 T4 T7",
+			history:   "T1:commit T2:commit T4:commit T5:commit T6:commit T8:abort C6:commit C5:commit T7:commit",
+		},
+		{
+			name:      "T8_aborts_T7_retried",
+			inject:    func(i *rm.Injector) { i.AbortAlways("T8"); i.AbortN("T7", 1) },
+			committed: true,
+			path:      "T1 T2 T4 T7",
+			history:   "T1:commit T2:commit T4:commit T5:commit T6:commit T8:abort C6:commit C5:commit T7:abort T7:commit",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec := Fig3()
+			inj := rm.NewInjector()
+			c.inject(inj)
+			rec := &rm.Recorder{}
+			ex := &Executor{Decider: inj}
+			res, err := ex.Execute(spec, bindPure(spec), rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed != c.committed {
+				t.Fatalf("committed = %v, want %v", res.Committed, c.committed)
+			}
+			if got := strings.Join(res.Path, " "); got != c.path {
+				t.Fatalf("path = %q, want %q", got, c.path)
+			}
+			if got := history(rec); got != c.history {
+				t.Fatalf("history = %s\nwant      %s", got, c.history)
+			}
+		})
+	}
+}
+
+func TestExecutorRetriableBound(t *testing.T) {
+	spec := Fig3()
+	inj := rm.NewInjector()
+	inj.AbortAlways("T4")
+	inj.AbortAlways("T3") // retriable that never commits: scripting mistake
+	ex := &Executor{Decider: inj, MaxRetries: 10}
+	if _, err := ex.Execute(spec, bindPure(spec), &rm.Recorder{}); err == nil {
+		t.Fatal("unbounded retry not surfaced")
+	}
+}
+
+func TestExecutorCompensationBound(t *testing.T) {
+	spec := Fig3()
+	inj := rm.NewInjector()
+	inj.AbortAlways("T2")
+	inj.AbortAlways("C1")
+	ex := &Executor{Decider: inj, MaxRetries: 10}
+	if _, err := ex.Execute(spec, bindPure(spec), &rm.Recorder{}); err == nil {
+		t.Fatal("unbounded compensation not surfaced")
+	}
+}
+
+func TestBindMissing(t *testing.T) {
+	spec := Fig3()
+	b := bindPure(spec)
+	delete(b, "C5")
+	if err := spec.Bind(b); err == nil {
+		t.Fatal("missing compensation binding accepted")
+	}
+	delete(b, "T2")
+	if err := spec.Bind(b); err == nil {
+		t.Fatal("missing sub binding accepted")
+	}
+}
+
+func TestSegmentsFrom(t *testing.T) {
+	trie, err := BuildTrie(Fig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From T5: [T5 T6] form one compensatable segment, then T8 alone.
+	var t5 *Node
+	for _, n := range trie.Nodes() {
+		if n.Sub == "T5" {
+			t5 = n
+		}
+	}
+	segs := SegmentsFrom(trie.Spec, t5)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	if got := strings.Join(subNames(segs[0].Nodes), " "); got != "T5 T6" {
+		t.Fatalf("segment 0 = %s", got)
+	}
+	if got := strings.Join(subNames(segs[1].Nodes), " "); got != "T8" {
+		t.Fatalf("segment 1 = %s", got)
+	}
+}
+
+// TestQuickAtomicity: for randomly generated well-formed specs and random
+// abort scripts, execution either commits along some declared path or
+// aborts with every committed compensatable compensated (checked through
+// the history: commits of compensatables not on the final path must be
+// followed by their compensation).
+func TestQuickAtomicity(t *testing.T) {
+	f := func(seed int64) bool {
+		spec, inj := genSpec(seed)
+		trie, err := BuildTrie(spec)
+		if err != nil {
+			return true // generator made an invalid spec; skip
+		}
+		if err := trie.CheckWellFormed(); err != nil {
+			return true // skip ill-formed
+		}
+		rec := &rm.Recorder{}
+		ex := &Executor{Decider: inj, MaxRetries: 100}
+		res, err := ex.Execute(spec, bindPure(spec), rec)
+		if err != nil {
+			// The random script may abort a retriable subtransaction
+			// forever; the bounded retry loop surfaces that as an error by
+			// design. Such runs prove nothing about atomicity — skip.
+			if strings.Contains(err.Error(), "did not commit after") {
+				return true
+			}
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Atomicity over the observable history.
+		onPath := map[string]bool{}
+		for _, n := range res.Path {
+			onPath[n] = true
+		}
+		compensated := map[string]bool{}
+		committed := map[string]bool{}
+		for _, e := range rec.Events() {
+			if e.Kind != rm.EvCommit {
+				continue
+			}
+			if sub := spec.Sub(e.Name); sub != nil {
+				committed[e.Name] = true
+			} else {
+				// a compensation committed: find its subject
+				for _, s := range spec.Subs {
+					if s.Compensation == e.Name {
+						compensated[s.Name] = true
+					}
+				}
+			}
+		}
+		for name := range committed {
+			if onPath[name] || compensated[name] {
+				continue
+			}
+			sub := spec.Sub(name)
+			if sub.Compensatable {
+				t.Logf("seed %d: committed %s neither on final path nor compensated\nhistory: %s",
+					seed, name, history(rec))
+				return false
+			}
+			// Non-compensatable committed off the final path can only be
+			// an ancestor shared with the final path... which IS on the
+			// path. So this is a violation too — unless the transaction
+			// aborted, which well-formedness forbids after a pivot commit.
+			if res.Committed {
+				t.Logf("seed %d: pivot %s committed off the committed path", seed, name)
+				return false
+			}
+			t.Logf("seed %d: aborted with committed pivot %s", seed, name)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genSpec builds a random spec (sometimes ill-formed; callers skip those)
+// and a random abort script.
+func genSpec(seed int64) (*Spec, *rm.Injector) {
+	r := newRand(seed)
+	nSubs := 3 + r.Intn(6)
+	spec := &Spec{Name: fmt.Sprintf("gen%d", seed)}
+	for i := 0; i < nSubs; i++ {
+		sub := SubSpec{Name: fmt.Sprintf("S%d", i)}
+		switch r.Intn(3) {
+		case 0:
+			sub.Compensatable = true
+			sub.Compensation = fmt.Sprintf("CS%d", i)
+		case 1:
+			sub.Retriable = true
+		}
+		spec.Subs = append(spec.Subs, sub)
+	}
+	// Random paths: permutation prefixes sharing a common start.
+	nPaths := 1 + r.Intn(3)
+	for p := 0; p < nPaths; p++ {
+		var path []string
+		used := map[int]bool{}
+		ln := 1 + r.Intn(nSubs)
+		for i := 0; i < ln; i++ {
+			k := r.Intn(nSubs)
+			if used[k] {
+				continue
+			}
+			used[k] = true
+			path = append(path, fmt.Sprintf("S%d", k))
+		}
+		if len(path) > 0 {
+			spec.Paths = append(spec.Paths, path)
+		}
+	}
+	inj := rm.NewInjector()
+	for i := 0; i < nSubs; i++ {
+		name := fmt.Sprintf("S%d", i)
+		switch r.Intn(4) {
+		case 0:
+			inj.AbortAlways(name)
+		case 1:
+			inj.AbortN(name, 1+r.Intn(2))
+		}
+	}
+	return spec, inj
+}
+
+func newRand(seed int64) *quickRand {
+	return &quickRand{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+// quickRand is a tiny splitmix-style generator to avoid importing math/rand
+// twice with conflicting names in this file.
+type quickRand struct{ state uint64 }
+
+func (q *quickRand) next() uint64 {
+	q.state += 0x9e3779b97f4a7c15
+	z := q.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (q *quickRand) Intn(n int) int { return int(q.next() % uint64(n)) }

@@ -1,0 +1,85 @@
+package saga
+
+import (
+	"fmt"
+
+	"repro/internal/rm"
+)
+
+// CheckGuarantee verifies that an observed history satisfies the saga
+// guarantee of §4.1: the committed events form either
+//
+//	T1, T2, ..., Tn                          (the saga committed), or
+//	T1, ..., Tj, Cj, ..., C2, C1  (0 <= j < n)  (the saga was compensated)
+//
+// Aborted attempts are permitted only as: the single forward abort of
+// T(j+1) that triggered compensation, and aborted compensation attempts
+// that are eventually followed by the same compensation committing
+// (compensations are retriable).
+func CheckGuarantee(spec *Spec, events []rm.Event) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	stepIdx := make(map[string]int, len(spec.Steps))
+	compIdx := make(map[string]int, len(spec.Steps))
+	for i, st := range spec.Steps {
+		stepIdx[st.Name] = i + 1
+		compIdx[st.Compensation] = i + 1
+	}
+
+	pos := 0
+	// Forward phase: committed steps T1..Tj.
+	j := 0
+	for pos < len(events) {
+		ev := events[pos]
+		idx, isStep := stepIdx[ev.Name]
+		if !isStep {
+			break
+		}
+		if ev.Kind == rm.EvAbort {
+			if idx != j+1 {
+				return fmt.Errorf("saga %s: abort of %s out of order (expected step %d)", spec.Name, ev.Name, j+1)
+			}
+			pos++
+			goto compensation
+		}
+		if idx != j+1 {
+			return fmt.Errorf("saga %s: commit of %s out of order (expected step %d)", spec.Name, ev.Name, j+1)
+		}
+		j = idx
+		pos++
+	}
+	if pos == len(events) {
+		if j == len(spec.Steps) {
+			return nil // T1..Tn committed
+		}
+		return fmt.Errorf("saga %s: history ends after %d of %d steps with no compensation", spec.Name, j, len(spec.Steps))
+	}
+
+compensation:
+	// Compensation phase: Cj..C1, each possibly preceded by aborted
+	// attempts of itself.
+	for k := j; k >= 1; k-- {
+		want := spec.Steps[k-1].Compensation
+		committed := false
+		for pos < len(events) {
+			ev := events[pos]
+			if ev.Name != want {
+				break
+			}
+			pos++
+			if ev.Kind == rm.EvCommit {
+				committed = true
+				break
+			}
+			// aborted compensation attempt: keep retrying
+		}
+		if !committed {
+			return fmt.Errorf("saga %s: compensation %s (step %d) missing or did not commit", spec.Name, want, k)
+		}
+	}
+	if pos != len(events) {
+		return fmt.Errorf("saga %s: unexpected trailing event %v", spec.Name, events[pos])
+	}
+	return nil
+}

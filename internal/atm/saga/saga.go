@@ -1,0 +1,163 @@
+// Package saga implements Linear Sagas (García-Molina & Salem, SIGMOD'87)
+// as presented in §4.1 of "Advanced Transaction Models in Workflow
+// Contexts": a long-lived transaction T = T1;...;Tn with compensating
+// transactions C1..Cn and the guarantee that either T1..Tn executes, or
+// T1..Tj;Cj;...;C1 for some 0 <= j < n.
+//
+// The package provides the saga specification shared with the fmtm
+// translator, a native (non-workflow) executor that serves as the baseline
+// the workflow encoding is compared against, and a checker for the saga
+// guarantee over observed histories.
+package saga
+
+import (
+	"fmt"
+
+	"repro/internal/rm"
+)
+
+// Step is one subtransaction of the saga with its compensating
+// subtransaction. Compensation may be empty only in specifications that are
+// never asked to compensate (the checker and executor treat missing
+// compensation of an executed step as an error).
+type Step struct {
+	Name         string
+	Compensation string
+}
+
+// Spec is a linear saga: an ordered list of steps.
+type Spec struct {
+	Name  string
+	Steps []Step
+}
+
+// Validate checks the specification: a name, at least one step, unique
+// non-empty step and compensation names.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("saga: empty saga name")
+	}
+	if len(s.Steps) == 0 {
+		return fmt.Errorf("saga %s: no steps", s.Name)
+	}
+	seen := make(map[string]bool, 2*len(s.Steps))
+	for i, st := range s.Steps {
+		if st.Name == "" {
+			return fmt.Errorf("saga %s: step %d has empty name", s.Name, i+1)
+		}
+		if st.Compensation == "" {
+			return fmt.Errorf("saga %s: step %q has no compensation", s.Name, st.Name)
+		}
+		for _, n := range []string{st.Name, st.Compensation} {
+			if seen[n] {
+				return fmt.Errorf("saga %s: duplicate subtransaction name %q", s.Name, n)
+			}
+			seen[n] = true
+		}
+	}
+	return nil
+}
+
+// Binding maps every subtransaction name (steps and compensations) of a
+// spec to its executable subtransaction.
+type Binding map[string]rm.Subtransaction
+
+// Bind checks that every step and compensation of the spec has a bound
+// subtransaction.
+func (s *Spec) Bind(b Binding) error {
+	for _, st := range s.Steps {
+		if _, ok := b[st.Name]; !ok {
+			return fmt.Errorf("saga %s: no binding for step %q", s.Name, st.Name)
+		}
+		if _, ok := b[st.Compensation]; !ok {
+			return fmt.Errorf("saga %s: no binding for compensation %q", s.Name, st.Compensation)
+		}
+	}
+	return nil
+}
+
+// Result reports the outcome of a saga execution.
+type Result struct {
+	// Committed is true when every step committed; false when the saga
+	// aborted and was compensated.
+	Committed bool
+	// AbortedAt is the 1-based index of the step whose abort triggered
+	// compensation (0 when Committed).
+	AbortedAt int
+}
+
+// Executor runs sagas natively — the baseline the paper's workflow
+// implementation (Figure 2) is measured against. Compensations are treated
+// as retriable: an aborted compensation is retried until it commits, with a
+// bound to surface scripting mistakes.
+type Executor struct {
+	Decider rm.Decider
+	// MaxCompensationRetries bounds compensation retries (default 1000).
+	MaxCompensationRetries int
+}
+
+// Execute runs the saga against the binding, appending the observable
+// history to rec: forward steps in order; on the first abort, the
+// compensations of all committed steps in reverse order.
+func (e *Executor) Execute(spec *Spec, b Binding, rec *rm.Recorder) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := spec.Bind(b); err != nil {
+		return Result{}, err
+	}
+	committedPrefix := 0
+	for i, st := range spec.Steps {
+		ok, err := rm.Exec(b[st.Name], e.Decider, rec)
+		if err != nil {
+			return Result{}, err
+		}
+		if !ok {
+			// Step i+1 aborted: compensate T_j..T_1 for j = i.
+			if err := e.compensate(spec, b, committedPrefix, rec); err != nil {
+				return Result{}, err
+			}
+			return Result{Committed: false, AbortedAt: i + 1}, nil
+		}
+		committedPrefix = i + 1
+	}
+	return Result{Committed: true}, nil
+}
+
+// Compensate undoes an already committed saga — the paper notes "users may
+// require to compensate an already completed saga", in which case all
+// steps are compensated.
+func (e *Executor) Compensate(spec *Spec, b Binding, rec *rm.Recorder) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if err := spec.Bind(b); err != nil {
+		return err
+	}
+	return e.compensate(spec, b, len(spec.Steps), rec)
+}
+
+func (e *Executor) compensate(spec *Spec, b Binding, prefix int, rec *rm.Recorder) error {
+	maxRetries := e.MaxCompensationRetries
+	if maxRetries <= 0 {
+		maxRetries = 1000
+	}
+	for i := prefix - 1; i >= 0; i-- {
+		comp := spec.Steps[i].Compensation
+		// Compensations must succeed; retry until they commit.
+		for attempt := 0; ; attempt++ {
+			ok, err := rm.Exec(b[comp], e.Decider, rec)
+			if err != nil {
+				return err
+			}
+			if ok {
+				break
+			}
+			if attempt >= maxRetries {
+				return fmt.Errorf("saga %s: compensation %q did not commit after %d attempts",
+					spec.Name, comp, attempt+1)
+			}
+		}
+	}
+	return nil
+}

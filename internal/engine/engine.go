@@ -1,0 +1,294 @@
+// Package engine implements the workflow navigation engine: the FlowMark
+// runtime semantics of §3.2 of "Advanced Transaction Models in Workflow
+// Contexts". It executes process templates defined with the model package,
+// honoring activity states (ready / running / finished / terminated),
+// AND/OR start conditions evaluated only after every incoming control
+// connector has a truth value, transition conditions, exit-condition loops,
+// dead path elimination, nested blocks and process activities, container
+// data flow, manual activities with worklists, and write-ahead logging with
+// forward recovery.
+//
+// Navigation is deterministic: the engine pumps a FIFO queue of navigation
+// tasks and invokes programs synchronously, so the same template with the
+// same program outcomes always yields the same audit trail. Determinism is
+// what makes log replay (see Recover) exact.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+	"repro/internal/org"
+	"repro/internal/wal"
+)
+
+// Invocation is the context handed to a program when its activity runs.
+type Invocation struct {
+	InstanceID string
+	// Path identifies the activity execution within the instance, e.g.
+	// "Forward#0/book_flight". Block and subprocess segments carry their
+	// iteration number.
+	Path string
+	// Iter is the activity's own exit-condition iteration (0 on the first
+	// execution).
+	Iter int
+	// In is the activity input container (read-only by convention).
+	In *model.Container
+	// Out is the output container the program fills in; set RC to 0 for
+	// commit and non-zero for abort.
+	Out *model.Container
+}
+
+// Program is an application registered with the engine and invoked by
+// program activities. Returning an error signals an infrastructure failure
+// (the instance stops with that error); transactional aborts are reported
+// through Out's RC member instead.
+type Program interface {
+	Run(inv *Invocation) error
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(inv *Invocation) error
+
+// Run implements Program.
+func (f ProgramFunc) Run(inv *Invocation) error { return f(inv) }
+
+// NOP is the no-operation program used by generated compensation blocks
+// (the "null activity" of Figure 2); it commits immediately.
+var NOP Program = ProgramFunc(func(inv *Invocation) error {
+	inv.Out.SetRC(0)
+	return nil
+})
+
+// NOPName is the program name under which translators expect NOP to be
+// registered.
+const NOPName = "nop"
+
+// Engine holds the registered programs, process templates and the optional
+// organizational directory. It is safe for concurrent use; individual
+// instances are single-threaded.
+type Engine struct {
+	mu        sync.RWMutex
+	programs  map[string]Program
+	processes map[string]*model.Process
+
+	dir       *org.Directory
+	worklists *org.Worklists
+
+	clock       func() int64
+	concurrency int
+	nextID      atomic.Int64
+
+	instMu    sync.Mutex
+	instances []*Instance
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithOrganization attaches an organization directory; manual activities
+// post work items to its worklists.
+func WithOrganization(dir *org.Directory) Option {
+	return func(e *Engine) {
+		e.dir = dir
+		e.worklists = org.NewWorklists(dir)
+	}
+}
+
+// WithClock replaces the engine clock (seconds) used for work item
+// deadlines; the default is wall-clock time.
+func WithClock(clock func() int64) Option {
+	return func(e *Engine) { e.clock = clock }
+}
+
+// WithConcurrency sets the program worker pool size of new instances.
+// With n <= 1 (the default), navigation is fully sequential and
+// deterministic — recovered instances reproduce the identical audit
+// trail. With n > 1, independent program activities execute concurrently
+// on a pool of n workers; navigation itself remains single-threaded, so
+// the §3.2 semantics are unchanged, but the interleaving of parallel
+// branches (and therefore trail order) is non-deterministic.
+func WithConcurrency(n int) Option {
+	return func(e *Engine) { e.concurrency = n }
+}
+
+// New returns an engine with the NOP program pre-registered.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		programs:  map[string]Program{NOPName: NOP},
+		processes: make(map[string]*model.Process),
+		clock:     func() int64 { return time.Now().Unix() },
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// RegisterProgram makes a program invocable from program activities. As in
+// FlowMark, "once a program is registered it can be invoked from any
+// activity".
+func (e *Engine) RegisterProgram(name string, p Program) error {
+	if name == "" || p == nil {
+		return errors.New("engine: program must have a name and an implementation")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.programs[name]; dup {
+		return fmt.Errorf("engine: program %q already registered", name)
+	}
+	e.programs[name] = p
+	return nil
+}
+
+// Program returns the registered program, or nil.
+func (e *Engine) Program(name string) Program {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.programs[name]
+}
+
+// RegisterProcess validates and installs a process template. Subprocess
+// references are resolved against the templates registered so far plus the
+// new one, so register bottom-up.
+func (e *Engine) RegisterProcess(p *model.Process) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.processes[p.Name]; dup {
+		return fmt.Errorf("engine: process %q already registered", p.Name)
+	}
+	known := make(map[string]bool, len(e.processes)+1)
+	for name := range e.processes {
+		known[name] = true
+	}
+	known[p.Name] = true
+	if err := p.Validate(known); err != nil {
+		return err
+	}
+	if err := e.checkProgramsRegistered(&p.Graph, p.Name); err != nil {
+		return err
+	}
+	e.processes[p.Name] = p
+	return nil
+}
+
+func (e *Engine) checkProgramsRegistered(g *model.Graph, proc string) error {
+	for _, a := range g.Activities {
+		switch a.Kind {
+		case model.KindProgram:
+			if _, ok := e.programs[a.Program]; !ok {
+				return fmt.Errorf("engine: process %q activity %q uses unregistered program %q",
+					proc, a.Name, a.Program)
+			}
+		case model.KindBlock:
+			if a.Block != nil {
+				if err := e.checkProgramsRegistered(a.Block, proc); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Process returns a registered process template.
+func (e *Engine) Process(name string) (*model.Process, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, ok := e.processes[name]
+	return p, ok
+}
+
+// Worklists exposes the engine's worklist manager (nil when no organization
+// was attached).
+func (e *Engine) Worklists() *org.Worklists { return e.worklists }
+
+// Directory exposes the attached organization directory (nil when absent).
+func (e *Engine) Directory() *org.Directory { return e.dir }
+
+// CreateInstance instantiates a registered process template. input provides
+// initial values for the process input container (nil for all defaults);
+// log receives the navigation records (pass nil for an in-memory log).
+func (e *Engine) CreateInstance(process string, input map[string]expr.Value, log wal.Log) (*Instance, error) {
+	e.mu.RLock()
+	p, ok := e.processes[process]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown process %q", process)
+	}
+	if hasManual(&p.Graph) && e.worklists == nil {
+		return nil, fmt.Errorf("engine: process %q has manual activities but no organization is attached", process)
+	}
+	if log == nil {
+		log = &wal.MemLog{}
+	}
+	in, err := p.Types.NewContainer(p.In())
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range input {
+		if err := in.Set(k, v); err != nil {
+			return nil, err
+		}
+	}
+	id := fmt.Sprintf("inst-%d", e.nextID.Add(1))
+	inst := newInstance(e, id, p, in, log)
+	e.instMu.Lock()
+	e.instances = append(e.instances, inst)
+	e.instMu.Unlock()
+	return inst, nil
+}
+
+// InstanceInfo is one row of the engine's instance monitor (§3.3
+// monitoring).
+type InstanceInfo struct {
+	ID      string
+	Process string
+	// Status: "created" (not started), "running" (started, waiting on
+	// manual work or mid-navigation), "finished", or "failed".
+	Status      string
+	PendingWork int
+}
+
+// Instances returns a monitoring snapshot of every instance created by
+// this engine, in creation order. Instances are single-goroutine objects;
+// call this from the goroutine that drives them (or once they are
+// settled).
+func (e *Engine) Instances() []InstanceInfo {
+	e.instMu.Lock()
+	insts := append([]*Instance(nil), e.instances...)
+	e.instMu.Unlock()
+	out := make([]InstanceInfo, 0, len(insts))
+	for _, inst := range insts {
+		info := InstanceInfo{ID: inst.id, Process: inst.proc.Name, PendingWork: inst.pendingManual}
+		switch {
+		case inst.err != nil:
+			info.Status = "failed"
+		case inst.done:
+			info.Status = "finished"
+		case inst.started:
+			info.Status = "running"
+		default:
+			info.Status = "created"
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+func hasManual(g *model.Graph) bool {
+	for _, a := range g.Activities {
+		if a.Start == model.StartManual {
+			return true
+		}
+		if a.Kind == model.KindBlock && a.Block != nil && hasManual(a.Block) {
+			return true
+		}
+	}
+	return false
+}

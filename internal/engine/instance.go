@@ -1,0 +1,787 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+	"repro/internal/org"
+	"repro/internal/wal"
+)
+
+// State is the lifecycle state of an activity instance (§3.2). Finished is
+// transient — the engine immediately evaluates the exit condition and moves
+// the activity to Terminated or back to Ready — so it never rests in a
+// stored state.
+type State uint8
+
+// The stored activity states.
+const (
+	StateWaiting State = iota // start condition not yet decided
+	StateReady
+	StateRunning
+	StateTerminated
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateWaiting:
+		return "waiting"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// scope is one executing graph: the root process, a block iteration or a
+// subprocess invocation. Its path prefixes the paths of its activities.
+type scope struct {
+	inst      *Instance
+	graph     *model.Graph
+	types     *model.Types
+	path      string // "" for root, "B#0", "B#0/S#1", ...
+	input     *model.Container
+	output    *model.Container
+	acts      map[string]*actState
+	owner     *actState // block/process activity owning this scope (nil for root)
+	remaining int
+
+	// Adjacency indexes over graph connectors, built once per scope so
+	// navigation is O(V+E) instead of rescanning the connector lists for
+	// every activity.
+	incoming map[string][]*model.ControlConnector
+	outgoing map[string][]*model.ControlConnector
+	dataInto map[string][]*model.DataConnector // keyed by target endpoint
+	dataOut  map[string][]*model.DataConnector // activity -> scope-sink connectors
+}
+
+// actState is the run-time state of one activity within a scope.
+type actState struct {
+	act    *model.Activity
+	sc     *scope
+	state  State
+	dead   bool
+	iter   int
+	connIn map[string]bool // resolved incoming connector values by source name
+	output *model.Container
+	workID int64
+	forced bool // the current completion was forced by a user (no program ran)
+}
+
+func (as *actState) path() string {
+	if as.sc.path == "" {
+		return as.act.Name
+	}
+	return as.sc.path + "/" + as.act.Name
+}
+
+// Instance is one execution of a process template. Instances are not safe
+// for concurrent use; drive them from a single goroutine.
+type Instance struct {
+	eng  *Engine
+	id   string
+	proc *model.Process
+	log  wal.Log
+
+	root   *scope
+	byPath map[string]*actState
+	queue  []*actState
+	trail  []Event
+
+	// replay memoizes completed activity executions during recovery:
+	// path -> iter -> output snapshot.
+	replay map[string]map[int]map[string]expr.Value
+
+	started       bool
+	done          bool
+	err           error
+	pendingManual int
+
+	// Concurrent-mode state: when concurrency > 1, program bodies run on a
+	// worker pool of that size and completions flow through the channel.
+	// Navigation itself stays on one goroutine either way.
+	concurrency int
+	inflight    int
+	completions chan completion
+	pool        chan struct{}
+}
+
+func newInstance(e *Engine, id string, p *model.Process, input *model.Container, log wal.Log) *Instance {
+	inst := &Instance{
+		eng: e, id: id, proc: p, log: log,
+		byPath:      make(map[string]*actState),
+		concurrency: e.concurrency,
+	}
+	if inst.concurrency > 1 {
+		inst.completions = make(chan completion, inst.concurrency)
+		inst.pool = make(chan struct{}, inst.concurrency)
+	}
+	inst.root = inst.newScope(&p.Graph, p.Types, "", input, nil)
+	return inst
+}
+
+func (inst *Instance) newScope(g *model.Graph, types *model.Types, path string, input *model.Container, owner *actState) *scope {
+	sc := &scope{
+		inst: inst, graph: g, types: types, path: path,
+		input: input, owner: owner,
+		acts:      make(map[string]*actState, len(g.Activities)),
+		remaining: len(g.Activities),
+	}
+	sc.output = types.MustContainer(g.Out())
+	for _, a := range g.Activities {
+		as := &actState{act: a, sc: sc, connIn: make(map[string]bool)}
+		sc.acts[a.Name] = as
+		inst.byPath[as.path()] = as
+	}
+	sc.incoming = make(map[string][]*model.ControlConnector)
+	sc.outgoing = make(map[string][]*model.ControlConnector)
+	for _, c := range g.Control {
+		sc.incoming[c.To] = append(sc.incoming[c.To], c)
+		sc.outgoing[c.From] = append(sc.outgoing[c.From], c)
+	}
+	sc.dataInto = make(map[string][]*model.DataConnector)
+	sc.dataOut = make(map[string][]*model.DataConnector)
+	for _, d := range g.Data {
+		sc.dataInto[d.To] = append(sc.dataInto[d.To], d)
+		if d.To == model.ScopeRef {
+			sc.dataOut[d.From] = append(sc.dataOut[d.From], d)
+		}
+	}
+	return sc
+}
+
+// ID returns the instance identifier.
+func (inst *Instance) ID() string { return inst.id }
+
+// ProcessName returns the name of the instantiated template.
+func (inst *Instance) ProcessName() string { return inst.proc.Name }
+
+// Finished reports whether every activity has terminated and the process
+// output is final.
+func (inst *Instance) Finished() bool { return inst.done }
+
+// Err returns the instance's failure, if any (including wal.ErrCrash when a
+// crash was injected).
+func (inst *Instance) Err() error { return inst.err }
+
+// Output returns a copy of the process output container; call it after
+// Finished reports true.
+func (inst *Instance) Output() *model.Container { return inst.root.output.Clone() }
+
+// Trail returns the audit trail so far.
+func (inst *Instance) Trail() []Event { return append([]Event(nil), inst.trail...) }
+
+// PendingWork reports how many manual activities are waiting on worklists.
+func (inst *Instance) PendingWork() int { return inst.pendingManual }
+
+// ProgramRun summarizes one completed program-activity execution, in
+// completion order — the observable history the transaction-model
+// experiments assert on.
+type ProgramRun struct {
+	Path    string
+	Program string
+	Iter    int
+	RC      int64
+}
+
+// ProgramRuns extracts the completed program executions from the trail.
+func (inst *Instance) ProgramRuns() []ProgramRun {
+	var out []ProgramRun
+	for _, ev := range inst.trail {
+		if ev.Kind == EvFinished && ev.Program != "" {
+			out = append(out, ProgramRun{Path: ev.Path, Program: ev.Program, Iter: ev.Iter, RC: ev.RC})
+		}
+	}
+	return out
+}
+
+// ActivityState reports the stored state of the activity at the given path.
+func (inst *Instance) ActivityState(path string) (State, bool) {
+	as, ok := inst.byPath[path]
+	if !ok {
+		return 0, false
+	}
+	return as.state, true
+}
+
+// ActivityInfo is a monitoring snapshot of one activity instance — the
+// §3.3 monitoring capability ("activities ... are associated with users
+// who can monitor their progress").
+type ActivityInfo struct {
+	Path string
+	Kind model.ActivityKind
+	// State is the stored state; Dead marks termination by dead path
+	// elimination.
+	State State
+	Dead  bool
+	Iter  int
+	// Manual reports whether the activity starts from a worklist.
+	Manual bool
+}
+
+// Activities returns a monitoring snapshot of every activity instance
+// created so far (inner scopes appear once their block or subprocess has
+// started), sorted by path.
+func (inst *Instance) Activities() []ActivityInfo {
+	out := make([]ActivityInfo, 0, len(inst.byPath))
+	for path, as := range inst.byPath {
+		out = append(out, ActivityInfo{
+			Path: path, Kind: as.act.Kind, State: as.state, Dead: as.dead,
+			Iter: as.iter, Manual: as.act.Start == model.StartManual,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Start begins navigation: the activities without incoming control
+// connectors become ready and automatic activities execute until the
+// instance finishes, fails, or only manual work remains.
+func (inst *Instance) Start() error {
+	if inst.started {
+		return errors.New("engine: instance already started")
+	}
+	inst.started = true
+	inst.appendLog(wal.Record{
+		Type: wal.RecCreated, Instance: inst.id, Process: inst.proc.Name,
+		Values: inst.root.input.Snapshot(),
+	})
+	inst.event(Event{Kind: EvCreated})
+	if inst.err == nil {
+		inst.startScope(inst.root)
+		inst.pump()
+	}
+	return inst.err
+}
+
+// SelectWork lets a person select a posted work item belonging to this
+// instance; the activity executes and navigation continues.
+func (inst *Instance) SelectWork(person string, itemID int64) error {
+	if inst.eng.worklists == nil {
+		return errors.New("engine: no organization attached")
+	}
+	if inst.err != nil {
+		return inst.err
+	}
+	// SelectFor verifies the item belongs to this instance *before*
+	// claiming it, so a selection through the wrong instance handle leaves
+	// the item on every worklist.
+	item, err := inst.eng.worklists.SelectFor(person, itemID, inst.id)
+	if err != nil {
+		return err
+	}
+	as, ok := inst.byPath[item.Activity]
+	if !ok || as.state != StateReady {
+		return fmt.Errorf("engine: work item %d targets activity %q in state %v", itemID, item.Activity, as.state)
+	}
+	inst.pendingManual--
+	inst.event(Event{Kind: EvWorkSelected, Path: as.path(), Iter: as.iter})
+	inst.enqueue(as)
+	inst.pump()
+	return inst.err
+}
+
+// ForceFinish completes a ready manual activity on a user's behalf without
+// invoking its program — §3.3: "The user can stop an activity, restart it,
+// force it to finish, and so forth, independently of the rest of the
+// process." The work item is withdrawn from every worklist and the
+// activity finishes with the given return code (its output container
+// otherwise holds the declared defaults), after which navigation continues
+// normally: transition conditions see the forced RC.
+func (inst *Instance) ForceFinish(path string, rc int64) error {
+	if inst.err != nil {
+		return inst.err
+	}
+	as, ok := inst.byPath[path]
+	if !ok {
+		return fmt.Errorf("engine: no activity at %q", path)
+	}
+	if as.state != StateReady || as.act.Start != model.StartManual {
+		return fmt.Errorf("engine: activity %q is not a ready manual activity", path)
+	}
+	if err := inst.eng.worklists.Withdraw(as.workID); err != nil {
+		return err
+	}
+	inst.pendingManual--
+	inst.event(Event{Kind: EvForced, Path: path, Iter: as.iter, RC: rc})
+	out, err := as.sc.types.NewContainer(as.act.Out())
+	if err != nil {
+		inst.fail(err)
+		return inst.err
+	}
+	out.SetRC(rc)
+	as.state = StateRunning
+	as.forced = true
+	inst.finishActivity(as, out)
+	as.forced = false
+	inst.pump()
+	return inst.err
+}
+
+// Cancel terminates the process instance by user intervention: pending
+// work items are withdrawn, queued automatic activities are dropped, every
+// non-terminated activity is marked terminated, and the instance finishes
+// with its current output container. Canceling a finished or failed
+// instance is an error.
+func (inst *Instance) Cancel() error {
+	if inst.err != nil {
+		return inst.err
+	}
+	if inst.done {
+		return errors.New("engine: instance already finished")
+	}
+	if !inst.started {
+		return errors.New("engine: instance not started")
+	}
+	inst.event(Event{Kind: EvCanceled})
+	inst.queue = nil
+	for _, as := range inst.byPath {
+		if as.state == StateTerminated {
+			continue
+		}
+		if as.state == StateReady && as.act.Start == model.StartManual && as.workID != 0 {
+			if err := inst.eng.worklists.Withdraw(as.workID); err == nil {
+				inst.pendingManual--
+			}
+		}
+		as.state = StateTerminated
+		as.dead = true
+	}
+	inst.appendLog(wal.Record{
+		Type: wal.RecDone, Instance: inst.id, Values: inst.root.output.Snapshot(),
+	})
+	if inst.err != nil {
+		return inst.err
+	}
+	inst.done = true
+	inst.event(Event{Kind: EvDone})
+	return nil
+}
+
+func (inst *Instance) fail(err error) {
+	if inst.err == nil {
+		inst.err = err
+	}
+}
+
+func (inst *Instance) appendLog(rec wal.Record) {
+	if err := inst.log.Append(rec); err != nil {
+		inst.fail(err)
+	}
+}
+
+func (inst *Instance) event(ev Event) {
+	ev.At = inst.eng.clock()
+	inst.trail = append(inst.trail, ev)
+}
+
+func (inst *Instance) enqueue(as *actState) {
+	inst.queue = append(inst.queue, as)
+}
+
+// completion carries a finished asynchronous program invocation back to
+// the navigator goroutine.
+type completion struct {
+	as  *actState
+	out *model.Container
+	err error
+}
+
+// pump drives navigation. Everything except program bodies runs on the
+// calling (navigator) goroutine; in concurrent mode program bodies execute
+// on a bounded worker pool and their completions are folded back in here,
+// so navigation state needs no locking.
+func (inst *Instance) pump() {
+	for {
+		for inst.err == nil && len(inst.queue) > 0 {
+			as := inst.queue[0]
+			inst.queue = inst.queue[1:]
+			if as.state != StateReady {
+				continue // stale entry (e.g. scope was reset)
+			}
+			inst.runActivity(as)
+		}
+		if inst.inflight == 0 {
+			return
+		}
+		// Queue drained (or the instance failed) with programs in flight:
+		// wait for the next completion. On failure we still drain so no
+		// goroutine leaks.
+		c := <-inst.completions
+		inst.inflight--
+		if inst.err != nil {
+			continue
+		}
+		if c.err != nil {
+			inst.fail(c.err)
+			continue
+		}
+		inst.finishActivity(c.as, c.out)
+	}
+}
+
+func (inst *Instance) startScope(sc *scope) {
+	if sc.remaining == 0 {
+		inst.scopeDone(sc)
+		return
+	}
+	for _, a := range sc.graph.Starts() {
+		inst.setReady(sc.acts[a.Name])
+		if inst.err != nil {
+			return
+		}
+	}
+}
+
+func (inst *Instance) setReady(as *actState) {
+	as.state = StateReady
+	inst.event(Event{Kind: EvReady, Path: as.path(), Iter: as.iter})
+	if as.act.Start == model.StartManual {
+		inst.postWork(as)
+		return
+	}
+	inst.enqueue(as)
+}
+
+func (inst *Instance) postWork(as *actState) {
+	if inst.eng.worklists == nil {
+		inst.fail(fmt.Errorf("engine: manual activity %q requires an organization", as.path()))
+		return
+	}
+	item, err := inst.eng.worklists.Post(org.WorkItem{
+		Activity: as.path(), Instance: inst.id,
+		ReadyAt:     inst.eng.clock(),
+		NotifyAfter: as.act.NotifySeconds, NotifyRole: as.act.NotifyRole,
+	}, as.act.Staff.Role, as.act.Staff.Person)
+	if err != nil {
+		inst.fail(err)
+		return
+	}
+	as.workID = item.ID
+	inst.pendingManual++
+	inst.event(Event{Kind: EvWorkPosted, Path: as.path(), Iter: as.iter})
+}
+
+func (inst *Instance) runActivity(as *actState) {
+	as.state = StateRunning
+	path := as.path()
+	inst.event(Event{Kind: EvStarted, Path: path, Iter: as.iter, Program: as.act.Program})
+
+	switch as.act.Kind {
+	case model.KindProgram:
+		// Recovery path: a logged completion replaces the program
+		// invocation. Blocks and subprocesses always re-navigate (their
+		// member completions replay individually), so a recovered run
+		// produces the identical audit trail.
+		if vals := inst.replayHit(path, as.iter); vals != nil {
+			out := as.sc.types.MustContainer(as.act.Out())
+			if err := out.Restore(vals); err != nil {
+				inst.fail(err)
+				return
+			}
+			inst.finishActivity(as, out)
+			return
+		}
+		inst.runProgram(as)
+	case model.KindBlock:
+		in := inst.buildInput(as)
+		if inst.err != nil {
+			return
+		}
+		inner := inst.newScope(as.act.Block, as.sc.types, childPath(as, as.iter), in, as)
+		inst.startScope(inner)
+	case model.KindProcess:
+		inst.runSubprocess(as)
+	default:
+		inst.fail(fmt.Errorf("engine: activity %q has invalid kind", path))
+	}
+}
+
+func childPath(as *actState, iter int) string {
+	return fmt.Sprintf("%s#%d", as.path(), iter)
+}
+
+func (inst *Instance) runProgram(as *actState) {
+	prog := inst.eng.Program(as.act.Program)
+	if prog == nil {
+		inst.fail(fmt.Errorf("engine: program %q not registered", as.act.Program))
+		return
+	}
+	in := inst.buildInput(as)
+	if inst.err != nil {
+		return
+	}
+	out, err := as.sc.types.NewContainer(as.act.Out())
+	if err != nil {
+		inst.fail(err)
+		return
+	}
+	inst.appendLog(wal.Record{
+		Type: wal.RecStartedActivity, Instance: inst.id, Path: as.path(), Iter: as.iter,
+	})
+	if inst.err != nil {
+		return
+	}
+	inv := &Invocation{InstanceID: inst.id, Path: as.path(), Iter: as.iter, In: in, Out: out}
+	if inst.concurrency > 1 {
+		// Concurrent mode: run the program body on the worker pool; the
+		// completion is folded back into navigation by pump.
+		inst.inflight++
+		pool := inst.pool
+		go func() {
+			pool <- struct{}{}
+			err := prog.Run(inv)
+			<-pool
+			if err != nil {
+				err = fmt.Errorf("engine: program %q at %s: %w", as.act.Program, inv.Path, err)
+			}
+			inst.completions <- completion{as: as, out: out, err: err}
+		}()
+		return
+	}
+	if err := prog.Run(inv); err != nil {
+		inst.fail(fmt.Errorf("engine: program %q at %s: %w", as.act.Program, as.path(), err))
+		return
+	}
+	inst.finishActivity(as, out)
+}
+
+func (inst *Instance) runSubprocess(as *actState) {
+	tpl, ok := inst.eng.Process(as.act.Subprocess)
+	if !ok {
+		inst.fail(fmt.Errorf("engine: subprocess %q not registered", as.act.Subprocess))
+		return
+	}
+	in := inst.buildInput(as)
+	if inst.err != nil {
+		return
+	}
+	subIn, err := tpl.Types.NewContainer(tpl.In())
+	if err != nil {
+		inst.fail(err)
+		return
+	}
+	copyCommon(subIn, in)
+	inner := inst.newScope(&tpl.Graph, tpl.Types, childPath(as, as.iter), subIn, as)
+	inst.startScope(inner)
+}
+
+// copyCommon copies members present in both containers with compatible
+// kinds; the bridge between a process activity's containers and the
+// subprocess's own type registry.
+func copyCommon(dst, src *model.Container) {
+	for k, v := range src.Snapshot() {
+		if _, ok := dst.Get(k); ok {
+			_ = dst.Set(k, v) // incompatible kinds are skipped by design
+		}
+	}
+}
+
+// buildInput materializes an activity's input container by pulling the
+// data connectors that target it: scope input and the stored outputs of
+// terminated source activities. Connectors from activities that never ran
+// (dead paths) contribute nothing — the target sees declared defaults.
+func (inst *Instance) buildInput(as *actState) *model.Container {
+	in, err := as.sc.types.NewContainer(as.act.In())
+	if err != nil {
+		inst.fail(err)
+		return nil
+	}
+	for _, d := range as.sc.dataInto[as.act.Name] {
+		var src *model.Container
+		if d.From == model.ScopeRef {
+			src = as.sc.input
+		} else if srcAs := as.sc.acts[d.From]; srcAs != nil {
+			src = srcAs.output // nil when dead or not yet run
+		}
+		if src == nil {
+			continue
+		}
+		for _, m := range d.Maps {
+			if err := in.CopyFrom(src, m.FromPath, m.ToPath); err != nil {
+				inst.fail(err)
+				return nil
+			}
+		}
+	}
+	return in
+}
+
+// finishActivity handles the transient finished state: log the completion,
+// evaluate the exit condition, loop or terminate.
+func (inst *Instance) finishActivity(as *actState, out *model.Container) {
+	path := as.path()
+	inst.appendLog(wal.Record{
+		Type: wal.RecFinishedActivity, Instance: inst.id, Path: path, Iter: as.iter,
+		Values: out.Snapshot(),
+	})
+	if inst.err != nil {
+		return
+	}
+	program := as.act.Program
+	if as.forced {
+		program = "" // forced completions are not program executions
+	}
+	inst.event(Event{Kind: EvFinished, Path: path, Iter: as.iter, Program: program, RC: out.RC()})
+
+	if as.act.Exit != nil {
+		ok, err := expr.EvalBool(as.act.Exit, out)
+		if err != nil {
+			inst.fail(err)
+			return
+		}
+		if !ok {
+			// §3.2: "If false, the activity is rescheduled for execution."
+			inst.event(Event{Kind: EvLooped, Path: path, Iter: as.iter})
+			as.iter++
+			inst.setReady(as)
+			return
+		}
+	}
+	inst.terminateActivity(as, out, false)
+}
+
+// terminateActivity moves the activity to terminated, propagates connector
+// truth values (false for dead activities — dead path elimination) and
+// completes the scope when it was the last one.
+func (inst *Instance) terminateActivity(as *actState, out *model.Container, dead bool) {
+	as.state = StateTerminated
+	as.dead = dead
+	as.output = out
+	if dead {
+		inst.event(Event{Kind: EvDeadPath, Path: as.path(), Iter: as.iter})
+	} else {
+		inst.event(Event{Kind: EvTerminated, Path: as.path(), Iter: as.iter})
+		inst.applyScopeOutput(as, out)
+		if inst.err != nil {
+			return
+		}
+	}
+	for _, c := range as.sc.outgoing[as.act.Name] {
+		val := false
+		if !dead {
+			if c.Condition == nil {
+				val = true
+			} else {
+				v, err := expr.EvalBool(c.Condition, out)
+				if err != nil {
+					inst.fail(err)
+					return
+				}
+				val = v
+			}
+		}
+		inst.event(Event{Kind: EvConnector, From: joinScoped(as.sc.path, c.From), To: joinScoped(as.sc.path, c.To), Value: val})
+		tgt := as.sc.acts[c.To]
+		tgt.connIn[as.act.Name] = val
+		inst.checkStart(tgt)
+		if inst.err != nil {
+			return
+		}
+	}
+	as.sc.remaining--
+	if as.sc.remaining == 0 {
+		inst.scopeDone(as.sc)
+	}
+}
+
+func joinScoped(scopePath, name string) string {
+	if scopePath == "" {
+		return name
+	}
+	return scopePath + "/" + name
+}
+
+// applyScopeOutput pushes the activity's outputs into the scope output
+// container along data connectors targeting the scope sink.
+func (inst *Instance) applyScopeOutput(as *actState, out *model.Container) {
+	for _, d := range as.sc.dataOut[as.act.Name] {
+		for _, m := range d.Maps {
+			if err := as.sc.output.CopyFrom(out, m.FromPath, m.ToPath); err != nil {
+				inst.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// checkStart applies the start condition once every incoming control
+// connector has a truth value: AND needs all true, OR needs at least one.
+// A false start condition triggers dead path elimination.
+func (inst *Instance) checkStart(as *actState) {
+	if as.state != StateWaiting {
+		return
+	}
+	incoming := as.sc.incoming[as.act.Name]
+	if len(as.connIn) < len(incoming) {
+		return // §3.2: wait until all incoming connectors are evaluated
+	}
+	anyTrue, allTrue := false, true
+	for _, c := range incoming {
+		if as.connIn[c.From] {
+			anyTrue = true
+		} else {
+			allTrue = false
+		}
+	}
+	start := allTrue
+	if as.act.Join == model.JoinOr {
+		start = anyTrue
+	}
+	if start {
+		inst.setReady(as)
+		return
+	}
+	// Dead path elimination: the activity will never execute; it is marked
+	// terminated and its outgoing connectors evaluate to false.
+	inst.terminateActivity(as, nil, true)
+}
+
+// scopeDone fires when every activity of a scope has terminated: the root
+// scope completes the instance; a block or subprocess scope completes its
+// owning activity.
+func (inst *Instance) scopeDone(sc *scope) {
+	if sc.owner == nil {
+		inst.appendLog(wal.Record{
+			Type: wal.RecDone, Instance: inst.id, Values: sc.output.Snapshot(),
+		})
+		if inst.err != nil {
+			return
+		}
+		inst.done = true
+		inst.event(Event{Kind: EvDone})
+		return
+	}
+	owner := sc.owner
+	if owner.act.Kind == model.KindProcess {
+		// Bridge the subprocess output back into the owner's container.
+		out, err := owner.sc.types.NewContainer(owner.act.Out())
+		if err != nil {
+			inst.fail(err)
+			return
+		}
+		copyCommon(out, sc.output)
+		inst.finishActivity(owner, out)
+		return
+	}
+	inst.finishActivity(owner, sc.output)
+}
+
+func (inst *Instance) replayHit(path string, iter int) map[string]expr.Value {
+	if inst.replay == nil {
+		return nil
+	}
+	byIter, ok := inst.replay[path]
+	if !ok {
+		return nil
+	}
+	return byIter[iter]
+}

@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+	"repro/internal/wal"
+)
+
+// nestedProcess builds two levels of block nesting:
+//
+//	root: A -> Outer[ s1 -> Inner[ deep1 -> deep2 ] -> s2 ] -> Z
+//
+// with data threaded root input -> deep2 -> root output.
+func nestedProcess() *model.Process {
+	p := model.NewProcess("Nested")
+	if err := p.Types.Register(&model.StructType{Name: "IO", Members: []model.Member{
+		{Name: "x", Basic: model.Long},
+	}}); err != nil {
+		panic(err)
+	}
+	p.InputType, p.OutputType = "IO", "IO"
+
+	inner := &model.Graph{InputType: "IO", OutputType: "IO",
+		Activities: []*model.Activity{
+			{Name: "deep1", Kind: model.KindProgram, Program: "ok"},
+			{Name: "deep2", Kind: model.KindProgram, Program: "ok", InputType: "IO", OutputType: "IO"},
+		},
+		Control: []*model.ControlConnector{
+			{From: "deep1", To: "deep2", Condition: expr.MustParse("RC = 0")},
+		},
+		Data: []*model.DataConnector{
+			{From: model.ScopeRef, To: "deep2", Maps: []model.DataMap{{FromPath: "x", ToPath: "x"}}},
+			{From: "deep2", To: model.ScopeRef, Maps: []model.DataMap{{FromPath: "x", ToPath: "x"}}},
+		},
+	}
+	outer := &model.Graph{InputType: "IO", OutputType: "IO",
+		Activities: []*model.Activity{
+			{Name: "s1", Kind: model.KindProgram, Program: "ok"},
+			{Name: "Inner", Kind: model.KindBlock, Block: inner, InputType: "IO", OutputType: "IO"},
+			{Name: "s2", Kind: model.KindProgram, Program: "ok"},
+		},
+		Control: []*model.ControlConnector{
+			{From: "s1", To: "Inner", Condition: expr.MustParse("RC = 0")},
+			{From: "Inner", To: "s2", Condition: expr.MustParse("x >= 0")},
+		},
+		Data: []*model.DataConnector{
+			{From: model.ScopeRef, To: "Inner", Maps: []model.DataMap{{FromPath: "x", ToPath: "x"}}},
+			{From: "Inner", To: model.ScopeRef, Maps: []model.DataMap{{FromPath: "x", ToPath: "x"}}},
+		},
+	}
+	p.Activities = []*model.Activity{
+		{Name: "A", Kind: model.KindProgram, Program: "ok"},
+		{Name: "Outer", Kind: model.KindBlock, Block: outer, InputType: "IO", OutputType: "IO"},
+		{Name: "Z", Kind: model.KindProgram, Program: "ok"},
+	}
+	p.Control = []*model.ControlConnector{
+		{From: "A", To: "Outer", Condition: expr.MustParse("RC = 0")},
+		{From: "Outer", To: "Z", Condition: expr.MustParse("RC = 0")},
+	}
+	p.Data = []*model.DataConnector{
+		{From: model.ScopeRef, To: "Outer", Maps: []model.DataMap{{FromPath: "x", ToPath: "x"}}},
+		{From: "Outer", To: model.ScopeRef, Maps: []model.DataMap{{FromPath: "x", ToPath: "x"}}},
+	}
+	return p
+}
+
+func TestNestedBlocks(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.RegisterProcess(nestedProcess()); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("Nested", map[string]expr.Value{"x": expr.Int(5)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Finished() {
+		t.Fatal("not finished")
+	}
+	// x threads root -> Outer -> Inner -> deep2 -> back out.
+	if got := inst.Output().MustGet("x").AsInt(); got != 5 {
+		t.Fatalf("x = %d, want 5", got)
+	}
+	// Paths reflect the nesting.
+	want := []string{"A", "Outer#0/Inner#0/deep1", "Outer#0/Inner#0/deep2", "Outer#0/s1", "Outer#0/s2", "Z"}
+	var got []string
+	for _, r := range inst.ProgramRuns() {
+		got = append(got, r.Path)
+	}
+	// Order: A, s1, deep1, deep2, s2, Z — compare as sets through the
+	// monitoring API and order through the runs list.
+	if len(got) != 6 {
+		t.Fatalf("runs = %v", got)
+	}
+	if got[0] != "A" || got[len(got)-1] != "Z" {
+		t.Fatalf("run order: %v", got)
+	}
+	infos := inst.Activities()
+	byPath := map[string]ActivityInfo{}
+	for _, ai := range infos {
+		byPath[ai.Path] = ai
+	}
+	for _, w := range want {
+		ai, ok := byPath[w]
+		if !ok {
+			t.Fatalf("monitoring misses %s: %v", w, infos)
+		}
+		if ai.State != StateTerminated || ai.Dead {
+			t.Fatalf("%s: %+v", w, ai)
+		}
+	}
+	if byPath["Outer"].Kind != model.KindBlock || byPath["Outer#0/Inner"].Kind != model.KindBlock {
+		t.Fatal("block kinds wrong in monitoring snapshot")
+	}
+}
+
+func TestNestedBlockRecoverySweep(t *testing.T) {
+	// Forward recovery through two levels of nesting, crash at every point.
+	baselineEng := newTestEngine(t)
+	if err := baselineEng.RegisterProcess(nestedProcess()); err != nil {
+		t.Fatal(err)
+	}
+	cleanLog := &wal.MemLog{}
+	inst0, err := baselineEng.CreateInstance("Nested", map[string]expr.Value{"x": expr.Int(3)}, cleanLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	baseline := strings.Join(trailStrings(inst0), "|")
+
+	for crashAt := 1; crashAt < cleanLog.Len(); crashAt++ {
+		e := newTestEngine(t)
+		if err := e.RegisterProcess(nestedProcess()); err != nil {
+			t.Fatal(err)
+		}
+		log := &wal.MemLog{CrashAfter: crashAt}
+		inst, err := e.CreateInstance("Nested", map[string]expr.Value{"x": expr.Int(3)}, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Start(); !errors.Is(err, wal.ErrCrash) {
+			t.Fatalf("crash %d: %v", crashAt, err)
+		}
+		e2 := newTestEngine(t)
+		if err := e2.RegisterProcess(nestedProcess()); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(e2, log.Records(), nil)
+		if err != nil || !rec.Finished() {
+			t.Fatalf("crash %d: recover: %v", crashAt, err)
+		}
+		if got := strings.Join(trailStrings(rec), "|"); got != baseline {
+			t.Fatalf("crash %d: trail diverged", crashAt)
+		}
+		if rec.Output().MustGet("x").AsInt() != 3 {
+			t.Fatalf("crash %d: output lost", crashAt)
+		}
+	}
+}
+
+func TestSubprocessInsideBlock(t *testing.T) {
+	e := newTestEngine(t)
+	child := model.NewProcess("Leaf")
+	child.Activities = []*model.Activity{{Name: "w", Kind: model.KindProgram, Program: "ok"}}
+	if err := e.RegisterProcess(child); err != nil {
+		t.Fatal(err)
+	}
+	parent := model.NewProcess("Wrap")
+	blk := &model.Graph{
+		Activities: []*model.Activity{
+			{Name: "call", Kind: model.KindProcess, Subprocess: "Leaf"},
+		},
+	}
+	parent.Activities = []*model.Activity{{Name: "B", Kind: model.KindBlock, Block: blk}}
+	if err := e.RegisterProcess(parent); err != nil {
+		t.Fatal(err)
+	}
+	inst := runToEnd(t, e, "Wrap", nil)
+	runs := inst.ProgramRuns()
+	if len(runs) != 1 || runs[0].Path != "B#0/call#0/w" {
+		t.Fatalf("runs = %+v", runs)
+	}
+}
+
+func TestDeadBlockNeverStartsInner(t *testing.T) {
+	e := newTestEngine(t)
+	p := model.NewProcess("DeadBlock")
+	blk := &model.Graph{
+		Activities: []*model.Activity{{Name: "inner", Kind: model.KindProgram, Program: "ok"}},
+	}
+	p.Activities = []*model.Activity{
+		{Name: "A", Kind: model.KindProgram, Program: "abort"},
+		{Name: "B", Kind: model.KindBlock, Block: blk},
+	}
+	p.Control = []*model.ControlConnector{
+		{From: "A", To: "B", Condition: expr.MustParse("RC = 0")},
+	}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst := runToEnd(t, e, "DeadBlock", nil)
+	if !inst.Finished() {
+		t.Fatal("not finished")
+	}
+	// Inner activity was never instantiated.
+	if _, ok := inst.ActivityState("B#0/inner"); ok {
+		t.Fatal("dead block instantiated its inner scope")
+	}
+	if s, _ := inst.ActivityState("B"); s != StateTerminated {
+		t.Fatal("dead block not terminated")
+	}
+}
+
+// capturingProgram records the input container member "v" it saw.
+type capturingProgram struct{ seen []int64 }
+
+func (c *capturingProgram) Run(inv *Invocation) error {
+	if v, ok := inv.In.Get("v"); ok {
+		c.seen = append(c.seen, v.AsInt())
+	}
+	inv.Out.SetRC(0)
+	return nil
+}
+
+func TestDataFromDeadSourceLeavesDefaults(t *testing.T) {
+	// D is dead-path-eliminated; the data connector D -> C must contribute
+	// nothing, so C sees the declared default of its input container.
+	e := newTestEngine(t)
+	cap := &capturingProgram{}
+	if err := e.RegisterProgram("capture", cap); err != nil {
+		t.Fatal(err)
+	}
+	p := model.NewProcess("Defaults")
+	if err := p.Types.Register(&model.StructType{Name: "V", Members: []model.Member{
+		{Name: "v", Basic: model.Long, Default: expr.Int(77)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	p.Activities = []*model.Activity{
+		{Name: "A", Kind: model.KindProgram, Program: "abort"},
+		{Name: "D", Kind: model.KindProgram, Program: "ok", OutputType: "V"}, // dead: A aborts
+		{Name: "B", Kind: model.KindProgram, Program: "ok"},
+		{Name: "C", Kind: model.KindProgram, Program: "capture", InputType: "V", Join: model.JoinOr},
+	}
+	p.Control = []*model.ControlConnector{
+		{From: "A", To: "D", Condition: expr.MustParse("RC = 0")},
+		{From: "D", To: "C"},
+		{From: "B", To: "C"},
+	}
+	p.Data = []*model.DataConnector{
+		{From: "D", To: "C", Maps: []model.DataMap{{FromPath: "v", ToPath: "v"}}},
+	}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst := runToEnd(t, e, "Defaults", nil)
+	if !inst.Finished() {
+		t.Fatal("not finished")
+	}
+	if s, _ := inst.ActivityState("C"); s != StateTerminated {
+		t.Fatal("C did not run")
+	}
+	if len(cap.seen) != 1 || cap.seen[0] != 77 {
+		t.Fatalf("C saw %v, want the declared default 77", cap.seen)
+	}
+}
+
+func TestExitConditionErrorFailsInstance(t *testing.T) {
+	e := newTestEngine(t)
+	// An ordering comparison between LONG and STRING is a runtime type
+	// error; the instance must fail rather than loop or hang.
+	p := model.NewProcess("BadExit")
+	p.Activities = []*model.Activity{{
+		Name: "A", Kind: model.KindProgram, Program: "ok",
+		Exit: expr.MustParse(`RC > "x"`),
+	}}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("BadExit", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err == nil {
+		t.Fatal("type error in exit condition not surfaced")
+	}
+	if inst.Finished() {
+		t.Fatal("failed instance reported finished")
+	}
+}
+
+func TestBlockIterationPathsDistinct(t *testing.T) {
+	// Ensure block iterations produce distinct monitoring paths (B#0, B#1).
+	e := New()
+	flaky := &flakyProgram{failures: map[string]int{"L#0/s": 0}}
+	if err := e.RegisterProgram("flaky", flaky); err != nil {
+		t.Fatal(err)
+	}
+	p := model.NewProcess("Iter")
+	if err := p.Types.Register(&model.StructType{Name: "S", Members: []model.Member{
+		{Name: "n", Basic: model.Long, Default: expr.Int(-1)},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	iterCount := 0
+	if err := e.RegisterProgram("count_iters", ProgramFunc(func(inv *Invocation) error {
+		iterCount++
+		if iterCount < 3 {
+			inv.Out.SetRC(1)
+		} else {
+			inv.Out.SetRC(0)
+		}
+		return nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	blk := &model.Graph{
+		OutputType: "S",
+		Activities: []*model.Activity{{Name: "s", Kind: model.KindProgram, Program: "count_iters"}},
+		Data: []*model.DataConnector{
+			{From: "s", To: model.ScopeRef, Maps: []model.DataMap{{FromPath: "RC", ToPath: "n"}}},
+		},
+	}
+	p.Activities = []*model.Activity{{
+		Name: "L", Kind: model.KindBlock, Block: blk, OutputType: "S",
+		Exit: expr.MustParse("n = 0"),
+	}}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("Iter", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"L#0/s", "L#1/s", "L#2/s"} {
+		if _, ok := inst.ActivityState(path); !ok {
+			t.Fatalf("missing iteration path %s; have %v", path, pathsOf(inst))
+		}
+	}
+}
+
+func pathsOf(inst *Instance) []string {
+	var out []string
+	for _, ai := range inst.Activities() {
+		out = append(out, fmt.Sprintf("%s(%v)", ai.Path, ai.State))
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/wal"
+)
+
+// Recover rebuilds a crashed process instance from its WAL records and
+// resumes it (§3.3: "Once the failures have been repaired, the process
+// execution is resumed from the point where the failure occurred").
+//
+// Navigation is deterministic, so recovery re-runs the instance from the
+// beginning while substituting logged outputs for the program invocations
+// that had completed before the crash; programs whose completion was never
+// logged are re-executed from the beginning — the paper's caveat about
+// activities that are not failure atomic. The resumed instance writes a
+// fresh log (newLog) covering the whole execution, so recovery can itself
+// be recovered.
+//
+// The engine must have the same process templates and programs registered
+// as the crashed one.
+func Recover(e *Engine, records []wal.Record, newLog wal.Log) (*Instance, error) {
+	if len(records) == 0 {
+		return nil, errors.New("engine: empty log, nothing to recover")
+	}
+	created := records[0]
+	if created.Type != wal.RecCreated {
+		return nil, fmt.Errorf("engine: log does not begin with a %q record", wal.RecCreated)
+	}
+	p, ok := e.Process(created.Process)
+	if !ok {
+		return nil, fmt.Errorf("engine: process %q of the crashed instance is not registered", created.Process)
+	}
+	if newLog == nil {
+		newLog = &wal.MemLog{}
+	}
+	in, err := p.Types.NewContainer(p.In())
+	if err != nil {
+		return nil, err
+	}
+	if err := in.Restore(created.Values); err != nil {
+		return nil, fmt.Errorf("engine: restoring input container: %w", err)
+	}
+
+	inst := newInstance(e, created.Instance, p, in, newLog)
+	inst.replay = make(map[string]map[int]map[string]expr.Value)
+	for _, rec := range records[1:] {
+		if rec.Instance != created.Instance {
+			return nil, fmt.Errorf("engine: log mixes instances %q and %q", created.Instance, rec.Instance)
+		}
+		if rec.Type != wal.RecFinishedActivity {
+			continue
+		}
+		byIter := inst.replay[rec.Path]
+		if byIter == nil {
+			byIter = make(map[int]map[string]expr.Value)
+			inst.replay[rec.Path] = byIter
+		}
+		byIter[rec.Iter] = rec.Values
+	}
+	if err := inst.Start(); err != nil {
+		return inst, err
+	}
+	return inst, nil
+}

@@ -1,0 +1,31 @@
+package expr
+
+import "testing"
+
+// FuzzParse drives the condition parser with arbitrary input: no panics,
+// and accepted expressions print to a canonical form that re-parses to a
+// tree with the identical canonical form.
+func FuzzParse(f *testing.F) {
+	f.Add("RC = 0")
+	f.Add("a.b.c <> -42 AND NOT (x OR y)")
+	f.Add(`s = "str with \"quotes\" and \\"`)
+	f.Add("1.5e3 >= x")
+	f.Add("((TRUE))")
+	f.Add("NOT NOT NOT b")
+	f.Add("=")
+	f.Add("(")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := n.String()
+		n2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form unparseable: %q (from %q): %v", canon, src, err)
+		}
+		if canon2 := n2.String(); canon2 != canon {
+			t.Fatalf("canonical form unstable: %q -> %q (from %q)", canon, canon2, src)
+		}
+	})
+}

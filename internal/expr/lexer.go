@@ -1,0 +1,212 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokOp // = <> < <= > >=
+	tokLParen
+	tokRParen
+	tokAnd
+	tokOr
+	tokNot
+	tokTrue
+	tokFalse
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	op   Op
+	pos  int
+}
+
+// SyntaxError describes a lexical or parse error with its byte offset in the
+// source text.
+type SyntaxError struct {
+	Pos int
+	Msg string
+	Src string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: %s at offset %d in %q", e.Msg, e.Pos, e.Src)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (lx *lexer) errorf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...), Src: lx.src}
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) && isSpace(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case c == '(':
+		lx.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		lx.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == '=':
+		lx.pos++
+		return token{kind: tokOp, op: OpEq, pos: start}, nil
+	case c == '<':
+		lx.pos++
+		if lx.pos < len(lx.src) {
+			switch lx.src[lx.pos] {
+			case '>':
+				lx.pos++
+				return token{kind: tokOp, op: OpNe, pos: start}, nil
+			case '=':
+				lx.pos++
+				return token{kind: tokOp, op: OpLe, pos: start}, nil
+			}
+		}
+		return token{kind: tokOp, op: OpLt, pos: start}, nil
+	case c == '>':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+			lx.pos++
+			return token{kind: tokOp, op: OpGe, pos: start}, nil
+		}
+		return token{kind: tokOp, op: OpGt, pos: start}, nil
+	case c == '"':
+		return lx.lexString()
+	case c == '-' || c >= '0' && c <= '9':
+		return lx.lexNumber()
+	case isIdentStart(rune(c)):
+		return lx.lexIdent()
+	default:
+		return token{}, lx.errorf(start, "unexpected character %q", c)
+	}
+}
+
+func (lx *lexer) lexString() (token, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case '"':
+			lx.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		case '\\':
+			lx.pos++
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errorf(start, "unterminated string")
+			}
+			esc := lx.src[lx.pos]
+			switch esc {
+			case '"', '\\':
+				sb.WriteByte(esc)
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				return token{}, lx.errorf(lx.pos, "unknown escape \\%c", esc)
+			}
+			lx.pos++
+		default:
+			sb.WriteByte(c)
+			lx.pos++
+		}
+	}
+	return token{}, lx.errorf(start, "unterminated string")
+}
+
+func (lx *lexer) lexNumber() (token, error) {
+	start := lx.pos
+	if lx.src[lx.pos] == '-' {
+		lx.pos++
+		if lx.pos >= len(lx.src) || lx.src[lx.pos] < '0' || lx.src[lx.pos] > '9' {
+			return token{}, lx.errorf(start, "expected digits after '-'")
+		}
+	}
+	isFloat := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c >= '0' && c <= '9' {
+			lx.pos++
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			lx.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && lx.pos+1 < len(lx.src) {
+			// exponent: e[+-]?digits
+			p := lx.pos + 1
+			if lx.src[p] == '+' || lx.src[p] == '-' {
+				p++
+			}
+			if p < len(lx.src) && lx.src[p] >= '0' && lx.src[p] <= '9' {
+				isFloat = true
+				lx.pos = p
+				continue
+			}
+		}
+		break
+	}
+	text := lx.src[start:lx.pos]
+	if isFloat {
+		return token{kind: tokFloat, text: text, pos: start}, nil
+	}
+	return token{kind: tokInt, text: text, pos: start}, nil
+}
+
+func (lx *lexer) lexIdent() (token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	switch strings.ToUpper(text) {
+	case "AND":
+		return token{kind: tokAnd, pos: start}, nil
+	case "OR":
+		return token{kind: tokOr, pos: start}, nil
+	case "NOT":
+		return token{kind: tokNot, pos: start}, nil
+	case "TRUE":
+		return token{kind: tokTrue, pos: start}, nil
+	case "FALSE":
+		return token{kind: tokFalse, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+// isIdentPart accepts letters, digits, underscore and '.' (member paths).
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,193 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses a condition expression in FDL condition syntax.
+//
+// Grammar (operators case-insensitive, standard precedence):
+//
+//	expr   = or
+//	or     = and { "OR" and }
+//	and    = not { "AND" not }
+//	not    = "NOT" not | cmp
+//	cmp    = atom [ ("=" | "<>" | "<" | "<=" | ">" | ">=") atom ]
+//	atom   = ident | int | float | string | "TRUE" | "FALSE" | "(" expr ")"
+func Parse(src string) (Node, error) {
+	p := &parser{lx: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.lx.errorf(p.tok.pos, "unexpected trailing input")
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error; for use with constant
+// expressions in translators and tests.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	lx  lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.tok.kind == tokNot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		op := p.tok.op
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	t := p.tok
+	switch t.kind {
+	case tokIdent:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		path := strings.Split(t.text, ".")
+		for _, seg := range path {
+			if seg == "" {
+				return nil, p.lx.errorf(t.pos, "empty member path segment in %q", t.text)
+			}
+		}
+		return &Ref{Path: path}, nil
+	case tokInt:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.lx.errorf(t.pos, "invalid integer %q", t.text)
+		}
+		return &Lit{Val: Int(v)}, nil
+	case tokFloat:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.lx.errorf(t.pos, "invalid float %q", t.text)
+		}
+		return &Lit{Val: Float(v)}, nil
+	case tokString:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: String_(t.text)}, nil
+	case tokTrue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: Bool(true)}, nil
+	case tokFalse:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: Bool(false)}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.lx.errorf(p.tok.pos, "expected ')'")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokEOF:
+		return nil, p.lx.errorf(t.pos, "unexpected end of expression")
+	default:
+		return nil, p.lx.errorf(t.pos, "unexpected token")
+	}
+}

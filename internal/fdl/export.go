@@ -1,0 +1,181 @@
+package fdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+)
+
+// Export renders the file in canonical FDL text. The output re-parses to an
+// equivalent File (stable round trip).
+func Export(f *File) string {
+	var sb strings.Builder
+	for _, st := range f.Types.All() {
+		exportStructure(&sb, st)
+	}
+	for _, prog := range f.Programs {
+		fmt.Fprintf(&sb, "PROGRAM %s\n", quoteName(prog.Name))
+		if prog.Description != "" {
+			fmt.Fprintf(&sb, "  DESCRIPTION %s\n", quoteString(prog.Description))
+		}
+		fmt.Fprintf(&sb, "END %s\n\n", quoteName(prog.Name))
+	}
+	for _, proc := range f.Processes {
+		exportProcess(&sb, proc)
+	}
+	return sb.String()
+}
+
+func exportStructure(sb *strings.Builder, st *model.StructType) {
+	fmt.Fprintf(sb, "STRUCTURE %s\n", quoteName(st.Name))
+	for i := range st.Members {
+		m := &st.Members[i]
+		if m.IsStruct() {
+			fmt.Fprintf(sb, "  %s: %s\n", quoteName(m.Name), quoteName(m.Struct))
+			continue
+		}
+		fmt.Fprintf(sb, "  %s: %s", quoteName(m.Name), m.Basic)
+		if !m.Default.IsNull() && !m.Default.Equal(expr.ZeroOf(m.Basic.ValueKind())) {
+			fmt.Fprintf(sb, " DEFAULT %s", literal(m.Default))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(sb, "END %s\n\n", quoteName(st.Name))
+}
+
+func exportProcess(sb *strings.Builder, p *model.Process) {
+	fmt.Fprintf(sb, "PROCESS %s ( %s, %s )\n", quoteName(p.Name), quoteName(p.In()), quoteName(p.Out()))
+	if p.Description != "" {
+		fmt.Fprintf(sb, "  DESCRIPTION %s\n", quoteString(p.Description))
+	}
+	if p.Version != 1 {
+		fmt.Fprintf(sb, "  VERSION %d\n", p.Version)
+	}
+	exportGraph(sb, &p.Graph, 1)
+	fmt.Fprintf(sb, "END %s\n\n", quoteName(p.Name))
+}
+
+func exportGraph(sb *strings.Builder, g *model.Graph, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, a := range g.Activities {
+		exportActivity(sb, a, depth)
+	}
+	for _, c := range g.Control {
+		fmt.Fprintf(sb, "%sCONTROL FROM %s TO %s", ind, quoteName(c.From), quoteName(c.To))
+		if c.Condition != nil {
+			fmt.Fprintf(sb, " WHEN %s", quoteString(c.Condition.String()))
+		}
+		sb.WriteByte('\n')
+	}
+	for _, d := range g.Data {
+		fmt.Fprintf(sb, "%sDATA FROM %s TO %s", ind, endpoint(d.From, "SOURCE"), endpoint(d.To, "SINK"))
+		for _, m := range d.Maps {
+			fmt.Fprintf(sb, " MAP %s TO %s", quoteName(m.FromPath), quoteName(m.ToPath))
+		}
+		sb.WriteByte('\n')
+	}
+}
+
+func exportActivity(sb *strings.Builder, a *model.Activity, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(sb, "%s%s %s ( %s, %s )\n", ind, a.Kind, quoteName(a.Name), quoteName(a.In()), quoteName(a.Out()))
+	in2 := ind + "  "
+	if a.Description != "" {
+		fmt.Fprintf(sb, "%sDESCRIPTION %s\n", in2, quoteString(a.Description))
+	}
+	switch a.Kind {
+	case model.KindProgram:
+		fmt.Fprintf(sb, "%sPROGRAM %s\n", in2, quoteName(a.Program))
+	case model.KindProcess:
+		fmt.Fprintf(sb, "%sPROCESS %s\n", in2, quoteName(a.Subprocess))
+	}
+	if a.Start != model.StartAutomatic || a.Join != model.JoinAnd {
+		join := "ALL"
+		if a.Join == model.JoinOr {
+			join = "ANY"
+		}
+		fmt.Fprintf(sb, "%sSTART %s WHEN %s\n", in2, a.Start, join)
+	}
+	if a.Exit != nil {
+		fmt.Fprintf(sb, "%sEXIT WHEN %s\n", in2, quoteString(a.Exit.String()))
+	}
+	if a.Staff.Role != "" {
+		fmt.Fprintf(sb, "%sDONE_BY ROLE %s\n", in2, quoteName(a.Staff.Role))
+	}
+	if a.Staff.Person != "" {
+		fmt.Fprintf(sb, "%sDONE_BY PERSON %s\n", in2, quoteName(a.Staff.Person))
+	}
+	if a.NotifySeconds > 0 {
+		fmt.Fprintf(sb, "%sNOTIFY AFTER %d ROLE %s\n", in2, a.NotifySeconds, quoteName(a.NotifyRole))
+	}
+	if a.Kind == model.KindBlock && a.Block != nil {
+		exportGraph(sb, a.Block, depth+1)
+	}
+	fmt.Fprintf(sb, "%sEND %s\n", ind, quoteName(a.Name))
+}
+
+func endpoint(name, scopeKw string) string {
+	if name == model.ScopeRef {
+		return scopeKw
+	}
+	return quoteName(name)
+}
+
+func quoteName(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\'', '\\':
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		case '\n':
+			sb.WriteString("\\n")
+		case '\t':
+			sb.WriteString("\\t")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}
+
+func quoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"', '\\':
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		case '\n':
+			sb.WriteString("\\n")
+		case '\t':
+			sb.WriteString("\\t")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func literal(v expr.Value) string {
+	switch v.Kind() {
+	case expr.KindString:
+		return quoteString(v.AsString())
+	case expr.KindFloat:
+		// Decimal notation only — the FDL lexer has no exponent syntax.
+		f := v.AsFloat()
+		if f == float64(int64(f)) {
+			return fmt.Sprintf("%d", int64(f))
+		}
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,136 @@
+// Package fdl implements the process definition language of the
+// reproduction — a textual format modeled on the FlowMark Definition
+// Language (FDL) that the Exotica/FMTM pre-processor of the paper emits
+// (Figure 5). A definition file declares structure types, program
+// registrations and process definitions; it can be exported from and
+// imported into the in-memory model with a stable round trip.
+//
+// Syntax sketch (single-quoted names, double-quoted strings, /* comments */
+// and line comments starting with //):
+//
+//	STRUCTURE 'SagaState'
+//	  'State_1': LONG DEFAULT -1
+//	  'total':   'Money'
+//	END 'SagaState'
+//
+//	PROGRAM 'book_flight'
+//	  DESCRIPTION "books the flight"
+//	END 'book_flight'
+//
+//	PROCESS 'Travel' ( 'Order', 'SagaState' )
+//	  PROGRAM_ACTIVITY 'A' ( 'Order', 'Default' )
+//	    PROGRAM 'book_flight'
+//	    START MANUAL WHEN OR
+//	    EXIT WHEN "RC = 0"
+//	    DONE_BY ROLE 'agent'
+//	    NOTIFY AFTER 60 ROLE 'manager'
+//	  END 'A'
+//	  BLOCK 'B' ( 'Default', 'Default' )
+//	    ...activities and connectors...
+//	  END 'B'
+//	  PROCESS_ACTIVITY 'S' ( 'Default', 'Default' )
+//	    PROCESS 'Other'
+//	  END 'S'
+//	  CONTROL FROM 'A' TO 'B' WHEN "RC = 0"
+//	  DATA FROM 'A' TO SINK MAP 'RC' TO 'State_1'
+//	END 'Travel'
+//
+// In DATA connectors the keywords SOURCE and SINK denote the enclosing
+// scope's input and output containers (model.ScopeRef endpoints).
+package fdl
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Program is a program registration: Figure 5's semantic check requires
+// that "a suitable program definition exists" for every program activity.
+type Program struct {
+	Name        string
+	Description string
+}
+
+// File is a parsed FDL definition file. All processes in a file share one
+// structure-type registry.
+type File struct {
+	Types     *model.Types
+	Programs  []*Program
+	Processes []*model.Process
+}
+
+// Program returns the registered program with the given name, or nil.
+func (f *File) Program(name string) *Program {
+	for _, p := range f.Programs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Process returns the process with the given name, or nil.
+func (f *File) Process(name string) *model.Process {
+	for _, p := range f.Processes {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Check performs the semantic verification of the import stage of the
+// Figure 5 pipeline: structure types are acyclic, every process validates
+// structurally, subprocess references resolve within the file, and every
+// program activity references a registered program.
+func (f *File) Check() error {
+	if err := f.Types.CheckCycles(); err != nil {
+		return err
+	}
+	known := make(map[string]bool, len(f.Processes))
+	progNames := make(map[string]bool, len(f.Programs))
+	for _, p := range f.Programs {
+		if p.Name == "" {
+			return fmt.Errorf("fdl: program with empty name")
+		}
+		if progNames[p.Name] {
+			return fmt.Errorf("fdl: duplicate program %q", p.Name)
+		}
+		progNames[p.Name] = true
+	}
+	for _, p := range f.Processes {
+		if known[p.Name] {
+			return fmt.Errorf("fdl: duplicate process %q", p.Name)
+		}
+		known[p.Name] = true
+	}
+	for _, p := range f.Processes {
+		if err := p.Validate(known); err != nil {
+			return err
+		}
+		if err := checkPrograms(&p.Graph, p.Name, progNames); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkPrograms(g *model.Graph, proc string, progs map[string]bool) error {
+	for _, a := range g.Activities {
+		switch a.Kind {
+		case model.KindProgram:
+			if !progs[a.Program] {
+				return fmt.Errorf("fdl: process %q activity %q references unregistered program %q",
+					proc, a.Name, a.Program)
+			}
+		case model.KindBlock:
+			if a.Block != nil {
+				if err := checkPrograms(a.Block, proc, progs); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

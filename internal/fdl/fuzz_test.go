@@ -1,0 +1,32 @@
+package fdl
+
+import "testing"
+
+// FuzzParse drives the FDL parser with arbitrary input: it must never
+// panic, and anything it accepts must survive an export/re-parse round
+// trip with a stable second export.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleFDL)
+	f.Add("PROCESS 'P' ( 'Default', 'Default' ) END 'P'")
+	f.Add("STRUCTURE 'S' 'a': LONG DEFAULT -1 END 'S'")
+	f.Add("PROGRAM 'p' DESCRIPTION \"d\" END 'p'")
+	f.Add("/* comment */ // line\nPROGRAM 'p' END 'p'")
+	f.Add("PROCESS 'P' BLOCK 'B' ( 'Default', 'Default' ) END 'B' END 'P'")
+	f.Add("'")
+	f.Add("\"")
+	f.Add("PROCESS")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Export(file)
+		file2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted input exports unparseable FDL: %v\ninput: %q\nexport: %q", err, src, text)
+		}
+		if text2 := Export(file2); text2 != text {
+			t.Fatalf("export not stable for accepted input %q", src)
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package fdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tKeyword
+	tName   // 'quoted name'
+	tString // "quoted string"
+	tInt
+	tFloat
+	tLParen
+	tRParen
+	tComma
+	tColon
+)
+
+type tok struct {
+	kind tokKind
+	text string // keyword (upper-cased), name, string or integer text
+	line int
+}
+
+// Error is a parse error with a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("fdl: line %d: %s", e.Line, e.Msg) }
+
+type scanner struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newScanner(src string) *scanner { return &scanner{src: src, line: 1} }
+
+func (s *scanner) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *scanner) next() (tok, error) {
+	for {
+		// Skip whitespace.
+		for s.pos < len(s.src) {
+			c := s.src[s.pos]
+			if c == '\n' {
+				s.line++
+				s.pos++
+			} else if c == ' ' || c == '\t' || c == '\r' {
+				s.pos++
+			} else {
+				break
+			}
+		}
+		// Skip comments.
+		if s.pos+1 < len(s.src) && s.src[s.pos] == '/' && s.src[s.pos+1] == '/' {
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.pos++
+			}
+			continue
+		}
+		if s.pos+1 < len(s.src) && s.src[s.pos] == '/' && s.src[s.pos+1] == '*' {
+			start := s.line
+			s.pos += 2
+			for {
+				if s.pos+1 >= len(s.src) {
+					return tok{}, s.errf(start, "unterminated block comment")
+				}
+				if s.src[s.pos] == '\n' {
+					s.line++
+				}
+				if s.src[s.pos] == '*' && s.src[s.pos+1] == '/' {
+					s.pos += 2
+					break
+				}
+				s.pos++
+			}
+			continue
+		}
+		break
+	}
+	if s.pos >= len(s.src) {
+		return tok{kind: tEOF, line: s.line}, nil
+	}
+	c := s.src[s.pos]
+	switch {
+	case c == '(':
+		s.pos++
+		return tok{kind: tLParen, line: s.line}, nil
+	case c == ')':
+		s.pos++
+		return tok{kind: tRParen, line: s.line}, nil
+	case c == ',':
+		s.pos++
+		return tok{kind: tComma, line: s.line}, nil
+	case c == ':':
+		s.pos++
+		return tok{kind: tColon, line: s.line}, nil
+	case c == '\'':
+		return s.scanQuoted('\'', tName)
+	case c == '"':
+		return s.scanQuoted('"', tString)
+	case c == '-' || c >= '0' && c <= '9':
+		start := s.pos
+		s.pos++
+		kind := tInt
+		for s.pos < len(s.src) {
+			d := s.src[s.pos]
+			if d >= '0' && d <= '9' {
+				s.pos++
+				continue
+			}
+			if d == '.' && kind == tInt && s.pos+1 < len(s.src) &&
+				s.src[s.pos+1] >= '0' && s.src[s.pos+1] <= '9' {
+				kind = tFloat
+				s.pos++
+				continue
+			}
+			break
+		}
+		return tok{kind: kind, text: s.src[start:s.pos], line: s.line}, nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := s.pos
+		for s.pos < len(s.src) {
+			r := rune(s.src[s.pos])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			s.pos++
+		}
+		return tok{kind: tKeyword, text: strings.ToUpper(s.src[start:s.pos]), line: s.line}, nil
+	default:
+		return tok{}, s.errf(s.line, "unexpected character %q", c)
+	}
+}
+
+func (s *scanner) scanQuoted(q byte, kind tokKind) (tok, error) {
+	startLine := s.line
+	s.pos++ // opening quote
+	var sb strings.Builder
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		switch c {
+		case q:
+			s.pos++
+			return tok{kind: kind, text: sb.String(), line: startLine}, nil
+		case '\\':
+			s.pos++
+			if s.pos >= len(s.src) {
+				return tok{}, s.errf(startLine, "unterminated quoted text")
+			}
+			esc := s.src[s.pos]
+			switch esc {
+			case q, '\\':
+				sb.WriteByte(esc)
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				return tok{}, s.errf(s.line, "unknown escape \\%c", esc)
+			}
+			s.pos++
+		case '\n':
+			return tok{}, s.errf(startLine, "newline in quoted text")
+		default:
+			sb.WriteByte(c)
+			s.pos++
+		}
+	}
+	return tok{}, s.errf(startLine, "unterminated quoted text")
+}

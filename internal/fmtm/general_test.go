@@ -1,0 +1,271 @@
+package fmtm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/atm/saga"
+	"repro/internal/engine"
+	"repro/internal/rm"
+)
+
+func diamondSaga() *saga.GeneralSpec {
+	return &saga.GeneralSpec{
+		Name: "diamond",
+		Steps: []saga.Step{
+			{Name: "a", Compensation: "ca"},
+			{Name: "b", Compensation: "cb"},
+			{Name: "c", Compensation: "cc"},
+			{Name: "d", Compensation: "cd"},
+		},
+		Deps: map[string][]string{"b": {"a"}, "c": {"a"}, "d": {"b", "c"}},
+	}
+}
+
+func runGeneralWorkflow(t *testing.T, spec *saga.GeneralSpec, dec rm.Decider, opts SagaOptions) (*engine.Instance, *rm.Recorder) {
+	t.Helper()
+	e := engine.New()
+	if err := RegisterRuntime(e); err != nil {
+		t.Fatal(err)
+	}
+	rec := &rm.Recorder{}
+	if err := RegisterGeneralSaga(e, spec, PureGeneralBinding(spec), dec, rec); err != nil {
+		t.Fatal(err)
+	}
+	p, err := TranslateGeneralSaga(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance(spec.Name, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Finished() {
+		t.Fatal("generated general saga did not finish")
+	}
+	return inst, rec
+}
+
+func TestGeneralSagaTranslationStructure(t *testing.T) {
+	p, err := TranslateGeneralSaga(diamondSaga(), SagaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd := p.Graph.Activity("Forward")
+	if fwd == nil || len(fwd.Block.Activities) != 4 {
+		t.Fatal("forward block wrong")
+	}
+	// Dependency edges: a->b, a->c, b->d, c->d.
+	if got := len(fwd.Block.Control); got != 4 {
+		t.Fatalf("forward connectors = %d", got)
+	}
+	comp := p.Graph.Activity("Compensation")
+	// NOP->4 comps + 4 reversed edges.
+	if got := len(comp.Block.Control); got != 8 {
+		t.Fatalf("compensation connectors = %d", got)
+	}
+	// Entry condition is the abort disjunction.
+	if cond := p.Control[0].CondString(); cond != "State_1 = 1 OR State_2 = 1 OR State_3 = 1 OR State_4 = 1" {
+		t.Fatalf("entry condition: %s", cond)
+	}
+}
+
+// TestGeneralSagaAllAbortPoints: abort every step; the workflow history
+// must satisfy the generalized guarantee.
+func TestGeneralSagaAllAbortPoints(t *testing.T) {
+	spec := diamondSaga()
+	for _, victim := range []string{"", "a", "b", "c", "d"} {
+		name := victim
+		if name == "" {
+			name = "none"
+		}
+		t.Run("abort_"+name, func(t *testing.T) {
+			inj := rm.NewInjector()
+			if victim != "" {
+				inj.AbortAlways(victim)
+				inj.AbortN("ca", 1) // a flaky compensation
+			}
+			_, rec := runGeneralWorkflow(t, spec, inj, SagaOptions{})
+			if err := saga.CheckGeneralGuarantee(spec, rec.Events()); err != nil {
+				t.Fatalf("guarantee violated: %v\nhistory: %v", err, rec.Events())
+			}
+		})
+	}
+}
+
+func TestGeneralSagaInFlightSiblingCommits(t *testing.T) {
+	// When b aborts, its already-ready sibling c still executes (it was in
+	// flight) and must be compensated — the concurrent-saga behaviour the
+	// checker explicitly allows.
+	spec := diamondSaga()
+	inj := rm.NewInjector()
+	inj.AbortAlways("b")
+	_, rec := runGeneralWorkflow(t, spec, inj, SagaOptions{})
+	events := rec.Events()
+	var sawCCommit, sawCComp bool
+	for _, ev := range events {
+		if ev.Name == "c" && ev.Kind == rm.EvCommit {
+			sawCCommit = true
+		}
+		if ev.Name == "cc" && ev.Kind == rm.EvCommit {
+			sawCComp = true
+		}
+	}
+	if !sawCCommit || !sawCComp {
+		t.Fatalf("in-flight sibling not executed+compensated: %v", events)
+	}
+	if err := saga.CheckGeneralGuarantee(spec, events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralSagaCompensateCompleted(t *testing.T) {
+	spec := diamondSaga()
+	_, rec := runGeneralWorkflow(t, spec, rm.NewInjector(), SagaOptions{CompensateCompleted: true})
+	if err := saga.CheckGeneralGuarantee(spec, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	// All four compensated, cd before cb/cc before ca.
+	pos := map[string]int{}
+	for i, ev := range rec.Events() {
+		if ev.Kind == rm.EvCommit {
+			pos[ev.Name] = i
+		}
+	}
+	if !(pos["cd"] < pos["cb"] && pos["cd"] < pos["cc"] && pos["cb"] < pos["ca"] && pos["cc"] < pos["ca"]) {
+		t.Fatalf("compensation order wrong: %v", rec.Events())
+	}
+}
+
+// TestGeneralSagaWideFan exercises a wide parallel saga: one root, many
+// parallel workers, one join step.
+func TestGeneralSagaWideFan(t *testing.T) {
+	const width = 12
+	spec := &saga.GeneralSpec{Name: "fan", Deps: map[string][]string{}}
+	spec.Steps = append(spec.Steps, saga.Step{Name: "root", Compensation: "c_root"})
+	var workers []string
+	for i := 0; i < width; i++ {
+		w := fmt.Sprintf("w%d", i)
+		workers = append(workers, w)
+		spec.Steps = append(spec.Steps, saga.Step{Name: w, Compensation: "c_" + w})
+		spec.Deps[w] = []string{"root"}
+	}
+	spec.Steps = append(spec.Steps, saga.Step{Name: "join", Compensation: "c_join"})
+	spec.Deps["join"] = workers
+
+	// Abort the join: every worker and the root must be compensated.
+	inj := rm.NewInjector()
+	inj.AbortAlways("join")
+	_, rec := runGeneralWorkflow(t, spec, inj, SagaOptions{})
+	if err := saga.CheckGeneralGuarantee(spec, rec.Events()); err != nil {
+		t.Fatalf("guarantee violated: %v", err)
+	}
+	commits := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == rm.EvCommit {
+			commits++
+		}
+	}
+	// root + width forward commits, then width+1 compensations.
+	if commits != 2*(width+1) {
+		t.Fatalf("commits = %d, want %d", commits, 2*(width+1))
+	}
+}
+
+func TestGeneralSagaSpecLanguage(t *testing.T) {
+	src := `
+SAGA 'pipeline'
+  STEP 'extract'   COMPENSATION 'undo_extract'
+  STEP 'transform' COMPENSATION 'undo_transform' AFTER 'extract'
+  STEP 'audit'     COMPENSATION 'undo_audit'     AFTER 'extract'
+  STEP 'load'      COMPENSATION 'undo_load'      AFTER 'transform' 'audit'
+END 'pipeline'
+`
+	res, err := Pipeline(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Specs.General) != 1 || len(res.Specs.Sagas) != 0 {
+		t.Fatalf("specs: %+v", res.Specs)
+	}
+	g := res.Specs.General[0]
+	if len(g.Deps["load"]) != 2 {
+		t.Fatalf("deps: %v", g.Deps)
+	}
+	if res.File.Process("pipeline") == nil {
+		t.Fatal("pipeline process missing from FDL")
+	}
+	// Execute it through the imported template with an abort at load.
+	e := engine.New()
+	if err := RegisterRuntime(e); err != nil {
+		t.Fatal(err)
+	}
+	inj := rm.NewInjector()
+	inj.AbortAlways("load")
+	rec := &rm.Recorder{}
+	if err := RegisterGeneralSaga(e, g, PureGeneralBinding(g), inj, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Install(e, res.File); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("pipeline", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Finished() {
+		t.Fatal("not finished")
+	}
+	if err := saga.CheckGeneralGuarantee(g, rec.Events()); err != nil {
+		t.Fatalf("guarantee violated: %v\nhistory: %v", err, rec.Events())
+	}
+	// AFTER with missing names is rejected.
+	if _, err := Pipeline("SAGA 'x' STEP 'a' COMPENSATION 'c' AFTER END 'x'"); err == nil {
+		t.Fatal("AFTER without names accepted")
+	}
+	// Dependency on an unknown step is rejected by validation.
+	if _, err := Pipeline("SAGA 'x' STEP 'a' COMPENSATION 'c' AFTER 'ghost' END 'x'"); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+}
+
+func TestGeneralSagaLinearEquivalence(t *testing.T) {
+	// A chain-shaped general saga behaves exactly like the linear
+	// translation.
+	gen := &saga.GeneralSpec{
+		Name: "chain3",
+		Steps: []saga.Step{
+			{Name: "T1", Compensation: "C1"},
+			{Name: "T2", Compensation: "C2"},
+			{Name: "T3", Compensation: "C3"},
+		},
+		Deps: map[string][]string{"T2": {"T1"}, "T3": {"T2"}},
+	}
+	if !gen.Linear() {
+		t.Fatal("chain not linear")
+	}
+	lin := &saga.Spec{Name: "chain3", Steps: gen.Steps}
+	for abortAt := 0; abortAt <= 3; abortAt++ {
+		mkInj := func() *rm.Injector {
+			inj := rm.NewInjector()
+			if abortAt > 0 {
+				inj.AbortAlways(fmt.Sprintf("T%d", abortAt))
+			}
+			return inj
+		}
+		_, genRec := runGeneralWorkflow(t, gen, mkInj(), SagaOptions{})
+		_, linRec := runSagaWorkflow(t, lin, mkInj(), SagaOptions{})
+		if historyString(genRec) != historyString(linRec) {
+			t.Fatalf("abort %d: general %s != linear %s", abortAt, historyString(genRec), historyString(linRec))
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package fmtm
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fdl"
+	"repro/internal/model"
+)
+
+// PipelineResult carries the artifacts of one run of the Figure 5
+// pipeline.
+type PipelineResult struct {
+	// Specs is the parsed and model-checked specification file.
+	Specs *SpecFile
+	// FDL is the definition-language text emitted by the pre-processor.
+	FDL string
+	// File is the re-imported FDL after the import stage's syntactic and
+	// semantic checks — the source of executable process templates.
+	File *fdl.File
+}
+
+// Pipeline runs the full Exotica/FMTM pipeline of Figure 5 on a
+// specification text:
+//
+//	user spec ─parse/check─▶ translate (Figs. 2/4) ─▶ FDL export
+//	      ─FDL import (syntax check)─▶ semantic check ─▶ process templates
+//
+// Each stage rejects invalid input with a diagnostic, mirroring the checks
+// the paper attributes to the pre-processor, the import module and the
+// translator.
+func Pipeline(specText string) (*PipelineResult, error) {
+	specs, err := ParseSpec(specText)
+	if err != nil {
+		return nil, fmt.Errorf("fmtm: specification stage: %w", err)
+	}
+	var processes []*model.Process
+	for _, s := range specs.Sagas {
+		p, err := TranslateSaga(s, SagaOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("fmtm: translation stage: %w", err)
+		}
+		processes = append(processes, p)
+	}
+	for _, g := range specs.General {
+		p, err := TranslateGeneralSaga(g, SagaOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("fmtm: translation stage: %w", err)
+		}
+		processes = append(processes, p)
+	}
+	for _, f := range specs.Flexible {
+		p, err := TranslateFlexible(f)
+		if err != nil {
+			return nil, fmt.Errorf("fmtm: translation stage: %w", err)
+		}
+		processes = append(processes, p)
+	}
+	file, err := buildFile(processes)
+	if err != nil {
+		return nil, fmt.Errorf("fmtm: FDL generation stage: %w", err)
+	}
+	text := fdl.Export(file)
+	imported, err := fdl.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("fmtm: FDL import stage: %w", err)
+	}
+	if err := imported.Check(); err != nil {
+		return nil, fmt.Errorf("fmtm: semantic check stage: %w", err)
+	}
+	return &PipelineResult{Specs: specs, FDL: text, File: imported}, nil
+}
+
+// buildFile merges the generated processes into one FDL file: a shared
+// type registry, one PROGRAM registration per referenced program, and the
+// process definitions.
+func buildFile(processes []*model.Process) (*fdl.File, error) {
+	file := &fdl.File{Types: model.NewTypes()}
+	progSeen := map[string]bool{}
+	for _, p := range processes {
+		for _, t := range p.Types.All() {
+			if err := file.Types.Register(t); err != nil {
+				return nil, err
+			}
+		}
+		collectPrograms(&p.Graph, progSeen, &file.Programs)
+		// Re-home the process onto the shared registry.
+		p.Types = file.Types
+		file.Processes = append(file.Processes, p)
+	}
+	return file, nil
+}
+
+func collectPrograms(g *model.Graph, seen map[string]bool, out *[]*fdl.Program) {
+	for _, a := range g.Activities {
+		switch a.Kind {
+		case model.KindProgram:
+			if !seen[a.Program] {
+				seen[a.Program] = true
+				*out = append(*out, &fdl.Program{Name: a.Program, Description: "registered by Exotica/FMTM"})
+			}
+		case model.KindBlock:
+			if a.Block != nil {
+				collectPrograms(a.Block, seen, out)
+			}
+		}
+	}
+}
+
+// Install registers every process of a checked FDL file with the engine.
+// All programs the processes reference must already be registered (use
+// RegisterRuntime plus RegisterSaga/RegisterFlexible, or register your own
+// implementations).
+func Install(e *engine.Engine, file *fdl.File) error {
+	for _, p := range file.Processes {
+		if err := e.RegisterProcess(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

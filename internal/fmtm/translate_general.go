@@ -1,0 +1,147 @@
+package fmtm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/atm/saga"
+	"repro/internal/expr"
+	"repro/internal/model"
+)
+
+// TranslateGeneralSaga converts a generalized (parallel) saga into a
+// workflow process by extending the Figure 2 construction to partial
+// orders, as §4.1 says the original authors did for parallel and
+// generalized sagas:
+//
+//   - the Forward block wires one activity per step along the dependency
+//     edges with "RC = 0" transition conditions and AND joins, so
+//     independent steps are concurrent in the model and an abort
+//     dead-path-eliminates exactly the downstream steps;
+//   - the Compensation block mirrors the dependency graph in reverse: the
+//     NOP start activity triggers the compensation of every "maximal"
+//     executed step (committed, with no committed dependents), and a
+//     reversed connector per dependency edge delays each compensation
+//     until the compensations of all committed dependents have finished —
+//     the or-join semantics of §3.2 (start conditions evaluate only after
+//     every incoming connector has a value) provide the synchronization;
+//   - the blocks connect on the condition that some step aborted.
+func TranslateGeneralSaga(spec *saga.GeneralSpec, opts SagaOptions) (*model.Process, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	for _, st := range spec.Steps {
+		for _, n := range []string{st.Name, st.Compensation} {
+			switch n {
+			case forwardBlockName, compensationBlockName, nopActivityName:
+				return nil, fmt.Errorf("fmtm: saga %s: %q is a reserved activity name", spec.Name, n)
+			}
+		}
+	}
+
+	n := len(spec.Steps)
+	statesType := spec.Name + "_States"
+	idx := make(map[string]int, n) // step name -> 1-based state index
+	for i, st := range spec.Steps {
+		idx[st.Name] = i + 1
+	}
+
+	p := model.NewProcess(spec.Name)
+	p.Description = fmt.Sprintf("generalized saga %s compiled by Exotica/FMTM (parallel Figure 2 construction)", spec.Name)
+	members := make([]model.Member, n)
+	for i := range members {
+		members[i] = model.Member{Name: stateMember(i + 1), Basic: model.Long, Default: expr.Int(-1)}
+	}
+	if err := p.Types.Register(&model.StructType{Name: statesType, Members: members}); err != nil {
+		return nil, err
+	}
+	p.OutputType = statesType
+
+	// Forward block: the dependency DAG.
+	fwd := &model.Graph{OutputType: statesType}
+	for i, st := range spec.Steps {
+		fwd.Activities = append(fwd.Activities, &model.Activity{
+			Name: st.Name, Kind: model.KindProgram, Program: st.Name,
+		})
+		fwd.Data = append(fwd.Data, &model.DataConnector{
+			From: st.Name, To: model.ScopeRef,
+			Maps: []model.DataMap{{FromPath: model.RCMember, ToPath: stateMember(i + 1)}},
+		})
+		for _, d := range spec.Deps[st.Name] {
+			fwd.Control = append(fwd.Control, &model.ControlConnector{
+				From: d, To: st.Name, Condition: expr.MustParse("RC = 0"),
+			})
+		}
+	}
+
+	// Compensation block: the reversed DAG.
+	comp := &model.Graph{InputType: statesType}
+	comp.Activities = append(comp.Activities, &model.Activity{
+		Name: nopActivityName, Kind: model.KindProgram, Program: CopyName,
+		InputType: statesType, OutputType: statesType,
+	})
+	comp.Data = append(comp.Data, &model.DataConnector{
+		From: model.ScopeRef, To: nopActivityName, Maps: stateMaps(n),
+	})
+	for _, st := range spec.Steps {
+		comp.Activities = append(comp.Activities, &model.Activity{
+			Name: st.Compensation, Kind: model.KindProgram, Program: st.Compensation,
+			Exit: expr.MustParse("RC = 0"),
+			Join: model.JoinOr,
+		})
+		// NOP fires this compensation when the step committed and none of
+		// its dependents did (it is a maximal committed step).
+		conds := []string{fmt.Sprintf("%s = 0", stateMember(idx[st.Name]))}
+		for _, dep := range dependentsOf(spec, st.Name) {
+			conds = append(conds, fmt.Sprintf("%s <> 0", stateMember(idx[dep])))
+		}
+		comp.Control = append(comp.Control, &model.ControlConnector{
+			From: nopActivityName, To: st.Compensation,
+			Condition: expr.MustParse(strings.Join(conds, " AND ")),
+		})
+		// Reversed dependency edges: compensating a dependent enables the
+		// compensation of its prerequisites.
+		for _, d := range spec.Deps[st.Name] {
+			comp.Control = append(comp.Control, &model.ControlConnector{
+				From: st.Compensation, To: spec.Steps[idx[d]-1].Compensation,
+			})
+		}
+	}
+
+	p.Activities = []*model.Activity{
+		{Name: forwardBlockName, Kind: model.KindBlock, Block: fwd, OutputType: statesType},
+		{Name: compensationBlockName, Kind: model.KindBlock, Block: comp, InputType: statesType},
+	}
+	entry := &model.ControlConnector{From: forwardBlockName, To: compensationBlockName}
+	if !opts.CompensateCompleted {
+		// The saga aborted iff some step aborted.
+		var aborts []string
+		for i := 1; i <= n; i++ {
+			aborts = append(aborts, fmt.Sprintf("%s = 1", stateMember(i)))
+		}
+		entry.Condition = expr.MustParse(strings.Join(aborts, " OR "))
+	}
+	p.Control = []*model.ControlConnector{entry}
+	p.Data = []*model.DataConnector{
+		{From: forwardBlockName, To: compensationBlockName, Maps: stateMaps(n)},
+		{From: forwardBlockName, To: model.ScopeRef, Maps: stateMaps(n)},
+	}
+	if err := p.Validate(nil); err != nil {
+		return nil, fmt.Errorf("fmtm: generated general saga process invalid: %w", err)
+	}
+	return p, nil
+}
+
+// dependentsOf returns the steps depending on name, in declaration order.
+func dependentsOf(spec *saga.GeneralSpec, name string) []string {
+	var out []string
+	for _, st := range spec.Steps {
+		for _, d := range spec.Deps[st.Name] {
+			if d == name {
+				out = append(out, st.Name)
+				break
+			}
+		}
+	}
+	return out
+}

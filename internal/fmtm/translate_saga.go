@@ -1,0 +1,150 @@
+package fmtm
+
+import (
+	"fmt"
+
+	"repro/internal/atm/saga"
+	"repro/internal/expr"
+	"repro/internal/model"
+)
+
+// Reserved activity names of the saga construction.
+const (
+	forwardBlockName      = "Forward"
+	compensationBlockName = "Compensation"
+	nopActivityName       = "NOP"
+)
+
+// sagaStatesType names the per-process state structure; prefixed with the
+// process name so several generated processes can share one FDL file.
+func sagaStatesType(spec *saga.Spec) string { return spec.Name + "_States" }
+
+// SagaOptions tune the Figure 2 construction.
+type SagaOptions struct {
+	// CompensateCompleted builds the variant the paper mentions where
+	// "users may require to compensate an already completed saga": the
+	// compensation block is entered unconditionally and compensates every
+	// executed step, including a fully committed saga.
+	CompensateCompleted bool
+}
+
+// TranslateSaga converts a linear saga into a workflow process using
+// exactly the construction of §4.1 / Figure 2:
+//
+//   - a Forward block holds one activity per subtransaction, chained by
+//     control connectors with transition condition "RC = 0"; each activity
+//     maps its return code into the block output member State_i
+//     (default -1 = never executed, 0 = committed, non-zero = aborted), so
+//     an abort dead-path-eliminates the rest of the chain and the block
+//     output records exactly the executed prefix;
+//   - a Compensation block receives those states through a data connector;
+//     its NOP start activity has a control connector to every compensating
+//     activity, conditioned so that compensation starts at the last
+//     executed step; reversed connectors between the compensating
+//     activities drive compensation in reverse execution order; each
+//     compensating activity's exit condition "RC = 0" retries it until it
+//     commits.
+func TranslateSaga(spec *saga.Spec, opts SagaOptions) (*model.Process, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	for _, st := range spec.Steps {
+		for _, n := range []string{st.Name, st.Compensation} {
+			switch n {
+			case forwardBlockName, compensationBlockName, nopActivityName:
+				return nil, fmt.Errorf("fmtm: saga %s: %q is a reserved activity name", spec.Name, n)
+			}
+		}
+	}
+
+	n := len(spec.Steps)
+	p := model.NewProcess(spec.Name)
+	p.Description = fmt.Sprintf("linear saga %s compiled by Exotica/FMTM (Figure 2 construction)", spec.Name)
+
+	members := make([]model.Member, n)
+	for i := range members {
+		members[i] = model.Member{Name: stateMember(i + 1), Basic: model.Long, Default: expr.Int(-1)}
+	}
+	if err := p.Types.Register(&model.StructType{Name: sagaStatesType(spec), Members: members}); err != nil {
+		return nil, err
+	}
+	p.OutputType = sagaStatesType(spec)
+
+	// Forward block.
+	fwd := &model.Graph{OutputType: sagaStatesType(spec)}
+	for i, st := range spec.Steps {
+		fwd.Activities = append(fwd.Activities, &model.Activity{
+			Name: st.Name, Kind: model.KindProgram, Program: st.Name,
+		})
+		fwd.Data = append(fwd.Data, &model.DataConnector{
+			From: st.Name, To: model.ScopeRef,
+			Maps: []model.DataMap{{FromPath: model.RCMember, ToPath: stateMember(i + 1)}},
+		})
+		if i > 0 {
+			fwd.Control = append(fwd.Control, &model.ControlConnector{
+				From: spec.Steps[i-1].Name, To: st.Name, Condition: expr.MustParse("RC = 0"),
+			})
+		}
+	}
+
+	// Compensation block.
+	comp := &model.Graph{InputType: sagaStatesType(spec)}
+	comp.Activities = append(comp.Activities, &model.Activity{
+		Name: nopActivityName, Kind: model.KindProgram, Program: CopyName,
+		InputType: sagaStatesType(spec), OutputType: sagaStatesType(spec),
+	})
+	comp.Data = append(comp.Data, &model.DataConnector{
+		From: model.ScopeRef, To: nopActivityName, Maps: stateMaps(n),
+	})
+	for i, st := range spec.Steps {
+		comp.Activities = append(comp.Activities, &model.Activity{
+			Name: st.Compensation, Kind: model.KindProgram, Program: st.Compensation,
+			Exit: expr.MustParse("RC = 0"), // compensations are retriable
+			Join: model.JoinOr,
+		})
+		// The NOP fires the compensation of the last executed step: step i
+		// committed but step i+1 did not run or aborted.
+		cond := fmt.Sprintf("%s = 0", stateMember(i+1))
+		if i+1 < n {
+			cond = fmt.Sprintf("%s = 0 AND %s <> 0", stateMember(i+1), stateMember(i+2))
+		}
+		comp.Control = append(comp.Control, &model.ControlConnector{
+			From: nopActivityName, To: st.Compensation, Condition: expr.MustParse(cond),
+		})
+		// Reverse chaining: after compensating step i+1, compensate step i.
+		if i > 0 {
+			comp.Control = append(comp.Control, &model.ControlConnector{
+				From: st.Compensation, To: spec.Steps[i-1].Compensation,
+			})
+		}
+	}
+
+	p.Activities = []*model.Activity{
+		{Name: forwardBlockName, Kind: model.KindBlock, Block: fwd, OutputType: sagaStatesType(spec)},
+		{Name: compensationBlockName, Kind: model.KindBlock, Block: comp, InputType: sagaStatesType(spec)},
+	}
+	entry := &model.ControlConnector{From: forwardBlockName, To: compensationBlockName}
+	if !opts.CompensateCompleted {
+		// The saga aborted iff its last step did not commit.
+		entry.Condition = expr.MustParse(fmt.Sprintf("%s <> 0", stateMember(n)))
+	}
+	p.Control = []*model.ControlConnector{entry}
+	p.Data = []*model.DataConnector{
+		{From: forwardBlockName, To: compensationBlockName, Maps: stateMaps(n)},
+		{From: forwardBlockName, To: model.ScopeRef, Maps: stateMaps(n)},
+	}
+	if err := p.Validate(nil); err != nil {
+		return nil, fmt.Errorf("fmtm: generated saga process invalid: %w", err)
+	}
+	return p, nil
+}
+
+func stateMember(i int) string { return fmt.Sprintf("State_%d", i) }
+
+func stateMaps(n int) []model.DataMap {
+	maps := make([]model.DataMap, n)
+	for i := range maps {
+		maps[i] = model.DataMap{FromPath: stateMember(i + 1), ToPath: stateMember(i + 1)}
+	}
+	return maps
+}

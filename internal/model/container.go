@@ -1,0 +1,224 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Container is a run-time instance of a structure type: the input or output
+// data container of an activity, block or process. Nested structure members
+// are flattened to dotted paths internally. Every container additionally
+// carries the implicit RC member (a Long, default 0).
+//
+// Containers implement expr.Env so conditions evaluate directly against
+// them. A Container is not safe for concurrent mutation; the engine
+// serializes access.
+type Container struct {
+	typ    *StructType
+	types  *Types
+	values map[string]expr.Value // dotted path -> value, fully populated with defaults
+}
+
+// NewContainer builds a container of the named type with every member set
+// to its default value and RC set to 0.
+func (ts *Types) NewContainer(typeName string) (*Container, error) {
+	t, ok := ts.Lookup(typeName)
+	if !ok {
+		return nil, fmt.Errorf("model: unknown structure %q", typeName)
+	}
+	c := &Container{typ: t, types: ts, values: make(map[string]expr.Value)}
+	if err := c.populate(t, nil); err != nil {
+		return nil, err
+	}
+	c.values[RCMember] = expr.Int(0)
+	return c, nil
+}
+
+// MustContainer is NewContainer that panics on error, for tests and
+// translators that use registered types.
+func (ts *Types) MustContainer(typeName string) *Container {
+	c, err := ts.NewContainer(typeName)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Container) populate(t *StructType, prefix []string) error {
+	for i := range t.Members {
+		m := &t.Members[i]
+		path := append(append([]string(nil), prefix...), m.Name)
+		if m.IsStruct() {
+			nested, ok := c.types.Lookup(m.Struct)
+			if !ok {
+				return fmt.Errorf("model: unknown structure %q", m.Struct)
+			}
+			if err := c.populate(nested, path); err != nil {
+				return err
+			}
+			continue
+		}
+		def := m.Default
+		if def.IsNull() {
+			def = expr.ZeroOf(m.Basic.ValueKind())
+		}
+		c.values[joinPath(path)] = def
+	}
+	return nil
+}
+
+// Type returns the container's structure type.
+func (c *Container) Type() *StructType { return c.typ }
+
+// Lookup implements expr.Env over the container's members.
+func (c *Container) Lookup(path []string) (expr.Value, bool) {
+	v, ok := c.values[joinPath(path)]
+	return v, ok
+}
+
+// Get returns the value at a dotted path such as "order.total" or "RC".
+func (c *Container) Get(path string) (expr.Value, bool) {
+	v, ok := c.values[path]
+	return v, ok
+}
+
+// MustGet is Get that panics when the member does not exist.
+func (c *Container) MustGet(path string) expr.Value {
+	v, ok := c.values[path]
+	if !ok {
+		panic(fmt.Sprintf("model: container %q has no member %q", c.typ.Name, path))
+	}
+	return v
+}
+
+// RC returns the container's return code member.
+func (c *Container) RC() int64 { return c.values[RCMember].AsInt() }
+
+// SetRC sets the return code member.
+func (c *Container) SetRC(rc int64) { c.values[RCMember] = expr.Int(rc) }
+
+// Set assigns a member at a dotted path. The member must exist and the
+// value's kind must match the member's declared kind (ints are accepted for
+// float members and widened).
+func (c *Container) Set(path string, v expr.Value) error {
+	old, ok := c.values[path]
+	if !ok {
+		return fmt.Errorf("model: container %q has no member %q", c.typ.Name, path)
+	}
+	coerced, err := coerce(v, old.Kind())
+	if err != nil {
+		return fmt.Errorf("model: member %q of %q: %v", path, c.typ.Name, err)
+	}
+	c.values[path] = coerced
+	return nil
+}
+
+// MustSet is Set that panics on error, for programs writing their declared
+// outputs.
+func (c *Container) MustSet(path string, v expr.Value) {
+	if err := c.Set(path, v); err != nil {
+		panic(err)
+	}
+}
+
+func coerce(v expr.Value, want expr.Kind) (expr.Value, error) {
+	if v.Kind() == want {
+		return v, nil
+	}
+	if v.Kind() == expr.KindInt && want == expr.KindFloat {
+		return expr.Float(v.AsFloat()), nil
+	}
+	return expr.Null, fmt.Errorf("cannot assign %s to %s member", v.Kind(), want)
+}
+
+// CopyFrom copies the member at fromPath in src into toPath in c. Kinds
+// must be assignment-compatible.
+func (c *Container) CopyFrom(src *Container, fromPath, toPath string) error {
+	v, ok := src.Get(fromPath)
+	if !ok {
+		return fmt.Errorf("model: source container %q has no member %q", src.typ.Name, fromPath)
+	}
+	return c.Set(toPath, v)
+}
+
+// Clone returns a deep copy of the container.
+func (c *Container) Clone() *Container {
+	vals := make(map[string]expr.Value, len(c.values))
+	for k, v := range c.values {
+		vals[k] = v
+	}
+	return &Container{typ: c.typ, types: c.types, values: vals}
+}
+
+// Paths returns the container's member paths in sorted order (including
+// RC), useful for serialization and debugging.
+func (c *Container) Paths() []string {
+	out := make([]string, 0, len(c.values))
+	for k := range c.values {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the container as "Type{a=1, b="x"}" with sorted members.
+func (c *Container) String() string {
+	var sb strings.Builder
+	sb.WriteString(c.typ.Name)
+	sb.WriteByte('{')
+	for i, p := range c.Paths() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p)
+		sb.WriteByte('=')
+		sb.WriteString(c.values[p].String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Snapshot returns the container's members as a path→value map (a copy),
+// used by the WAL to persist activity outputs.
+func (c *Container) Snapshot() map[string]expr.Value {
+	vals := make(map[string]expr.Value, len(c.values))
+	for k, v := range c.values {
+		vals[k] = v
+	}
+	return vals
+}
+
+// Restore overwrites the container's members from a snapshot map; unknown
+// paths are rejected.
+func (c *Container) Restore(vals map[string]expr.Value) error {
+	for k, v := range vals {
+		if k == RCMember {
+			c.values[k] = v
+			continue
+		}
+		if err := c.Set(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two containers have the same type name and member
+// values.
+func (c *Container) Equal(o *Container) bool {
+	if c.typ.Name != o.typ.Name || len(c.values) != len(o.values) {
+		return false
+	}
+	for k, v := range c.values {
+		ov, ok := o.values[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+func joinPath(path []string) string { return strings.Join(path, ".") }

@@ -1,0 +1,281 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// ActivityKind distinguishes the three kinds of steps of §3.2: program
+// activities execute a registered program, process activities execute
+// another process, and blocks embed a subgraph (used for nesting, modular
+// design and loops).
+type ActivityKind uint8
+
+// The activity kinds.
+const (
+	KindProgram ActivityKind = iota + 1
+	KindProcess
+	KindBlock
+)
+
+// String returns the FDL keyword for the kind.
+func (k ActivityKind) String() string {
+	switch k {
+	case KindProgram:
+		return "PROGRAM_ACTIVITY"
+	case KindProcess:
+		return "PROCESS_ACTIVITY"
+	case KindBlock:
+		return "BLOCK"
+	default:
+		return fmt.Sprintf("ActivityKind(%d)", uint8(k))
+	}
+}
+
+// JoinKind is the start condition of an activity: AND requires all incoming
+// control connectors to be true, OR requires at least one. In both cases
+// the activity waits until every incoming connector has been evaluated
+// (possibly to false by dead path elimination).
+type JoinKind uint8
+
+// The join kinds.
+const (
+	JoinAnd JoinKind = iota // default
+	JoinOr
+)
+
+// String returns the FDL keyword for the join.
+func (j JoinKind) String() string {
+	if j == JoinOr {
+		return "OR"
+	}
+	return "AND"
+}
+
+// StartMode says whether a ready activity starts automatically or must be
+// selected by a user from a worklist (§3.3).
+type StartMode uint8
+
+// The start modes.
+const (
+	StartAutomatic StartMode = iota
+	StartManual
+)
+
+// String returns the FDL keyword for the mode.
+func (m StartMode) String() string {
+	if m == StartManual {
+		return "MANUAL"
+	}
+	return "AUTOMATIC"
+}
+
+// Staff assigns the people responsible for an activity (§3.3): either a
+// role (all persons holding it are eligible) or a specific person. Empty
+// Staff means the activity is fully automatic with no user mapping.
+type Staff struct {
+	Role   string
+	Person string
+}
+
+// IsZero reports whether no staff assignment was made.
+func (s Staff) IsZero() bool { return s.Role == "" && s.Person == "" }
+
+// Activity is one step of a process (§3.2). Its zero value is not usable;
+// populate Name, Kind and the kind-specific fields.
+type Activity struct {
+	Name        string
+	Kind        ActivityKind
+	Description string
+
+	// Program is the registered program name for KindProgram.
+	Program string
+	// Subprocess is the process name for KindProcess.
+	Subprocess string
+	// Block is the embedded subgraph for KindBlock.
+	Block *Graph
+
+	// InputType and OutputType name the structure types of the activity's
+	// data containers; empty means the Default type.
+	InputType  string
+	OutputType string
+
+	// Join is the start condition over incoming control connectors.
+	Join JoinKind
+	// Exit is the exit condition, evaluated against the output container
+	// when the activity finishes; false reschedules the activity (loop).
+	// nil means TRUE (terminate immediately on finish).
+	Exit expr.Node
+
+	Start StartMode
+	Staff Staff
+	// NotifySeconds is the §3.3 notification deadline: if a ready manual
+	// activity is not started within this many seconds, the NotifyRole is
+	// notified. Zero disables notification.
+	NotifySeconds int64
+	NotifyRole    string
+}
+
+// In returns the activity's input container type name, defaulting to
+// DefaultType.
+func (a *Activity) In() string {
+	if a.InputType == "" {
+		return DefaultType
+	}
+	return a.InputType
+}
+
+// Out returns the activity's output container type name, defaulting to
+// DefaultType.
+func (a *Activity) Out() string {
+	if a.OutputType == "" {
+		return DefaultType
+	}
+	return a.OutputType
+}
+
+// ControlConnector is a directed edge of the flow of control. When the
+// source activity terminates, Condition is evaluated against its output
+// container; the connector then carries true or false to the target's
+// start condition. A nil Condition means TRUE.
+type ControlConnector struct {
+	From, To  string
+	Condition expr.Node
+}
+
+// CondString renders the connector condition, "TRUE" when nil.
+func (c *ControlConnector) CondString() string {
+	if c.Condition == nil {
+		return "TRUE"
+	}
+	return c.Condition.String()
+}
+
+// DataMap is one member mapping of a data connector.
+type DataMap struct {
+	FromPath string // dotted path in the source container
+	ToPath   string // dotted path in the target container
+}
+
+// ScopeRef is the reserved endpoint name referring to the enclosing scope's
+// containers in data connectors: as a source it is the scope's input
+// container, as a target the scope's output container.
+const ScopeRef = ""
+
+// DataConnector maps members between containers (§3.2 flow of data). From
+// names a source activity (its output container) or ScopeRef (the enclosing
+// process/block input container); To names a target activity (its input
+// container) or ScopeRef (the enclosing scope's output container).
+type DataConnector struct {
+	From string
+	To   string
+	Maps []DataMap
+}
+
+// Graph is a set of activities wired by control and data connectors. It is
+// the body of a process and of each block.
+type Graph struct {
+	Activities []*Activity
+	Control    []*ControlConnector
+	Data       []*DataConnector
+
+	// InputType and OutputType name the container types of the graph's own
+	// scope (process input/output or block input/output); empty means
+	// Default.
+	InputType  string
+	OutputType string
+}
+
+// In returns the scope input container type name.
+func (g *Graph) In() string {
+	if g.InputType == "" {
+		return DefaultType
+	}
+	return g.InputType
+}
+
+// Out returns the scope output container type name.
+func (g *Graph) Out() string {
+	if g.OutputType == "" {
+		return DefaultType
+	}
+	return g.OutputType
+}
+
+// Activity returns the named activity in this graph, or nil.
+func (g *Graph) Activity(name string) *Activity {
+	for _, a := range g.Activities {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Starts returns the activities with no incoming control connectors — the
+// starting activities of the graph.
+func (g *Graph) Starts() []*Activity {
+	hasIn := make(map[string]bool)
+	for _, c := range g.Control {
+		hasIn[c.To] = true
+	}
+	var out []*Activity
+	for _, a := range g.Activities {
+		if !hasIn[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Incoming returns the control connectors targeting the named activity, in
+// declaration order.
+func (g *Graph) Incoming(name string) []*ControlConnector {
+	var out []*ControlConnector
+	for _, c := range g.Control {
+		if c.To == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Outgoing returns the control connectors leaving the named activity, in
+// declaration order.
+func (g *Graph) Outgoing(name string) []*ControlConnector {
+	var out []*ControlConnector
+	for _, c := range g.Control {
+		if c.From == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DataInto returns the data connectors whose target is the given endpoint
+// (an activity name or ScopeRef).
+func (g *Graph) DataInto(to string) []*DataConnector {
+	var out []*DataConnector
+	for _, d := range g.Data {
+		if d.To == to {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Process is a complete process template (§3.2): a named, versioned graph
+// plus the structure types it uses.
+type Process struct {
+	Name        string
+	Version     int
+	Description string
+	Types       *Types
+	Graph
+}
+
+// NewProcess returns an empty process with a fresh type registry.
+func NewProcess(name string) *Process {
+	return &Process{Name: name, Version: 1, Types: NewTypes()}
+}

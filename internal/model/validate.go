@@ -1,0 +1,263 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// ValidationError collects all problems found in a process definition.
+type ValidationError struct {
+	Process string
+	Issues  []string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if len(e.Issues) == 1 {
+		return fmt.Sprintf("model: process %q invalid: %s", e.Process, e.Issues[0])
+	}
+	return fmt.Sprintf("model: process %q invalid: %d issues, first: %s", e.Process, len(e.Issues), e.Issues[0])
+}
+
+// Validate checks the structural and semantic legality of the process
+// definition: unique names, resolvable endpoints, acyclic control flow per
+// scope, type-correct data maps and conditions that reference existing
+// members. known lists the process names available for process activities;
+// pass nil to skip subprocess resolution (e.g. when validating templates in
+// isolation before import).
+func (p *Process) Validate(known map[string]bool) error {
+	v := &validator{p: p, known: known}
+	if p.Name == "" {
+		v.errf("empty process name")
+	}
+	if p.Types == nil {
+		v.errf("nil type registry")
+		return v.result()
+	}
+	if err := p.Types.CheckCycles(); err != nil {
+		v.errf("%v", err)
+	}
+	v.checkGraph(&p.Graph, "process")
+	return v.result()
+}
+
+type validator struct {
+	p     *Process
+	known map[string]bool
+	iss   []string
+}
+
+func (v *validator) errf(format string, args ...any) {
+	v.iss = append(v.iss, fmt.Sprintf(format, args...))
+}
+
+func (v *validator) result() error {
+	if len(v.iss) == 0 {
+		return nil
+	}
+	return &ValidationError{Process: v.p.Name, Issues: v.iss}
+}
+
+func (v *validator) checkType(name, where string) {
+	if name == "" {
+		return
+	}
+	if _, ok := v.p.Types.Lookup(name); !ok {
+		v.errf("%s references unknown structure %q", where, name)
+	}
+}
+
+func (v *validator) checkGraph(g *Graph, scope string) {
+	v.checkType(g.InputType, scope+" input")
+	v.checkType(g.OutputType, scope+" output")
+
+	names := make(map[string]*Activity, len(g.Activities))
+	for _, a := range g.Activities {
+		where := fmt.Sprintf("%s activity %q", scope, a.Name)
+		if a.Name == "" {
+			v.errf("%s has an activity with empty name", scope)
+			continue
+		}
+		if _, dup := names[a.Name]; dup {
+			v.errf("%s: duplicate activity name", where)
+			continue
+		}
+		names[a.Name] = a
+		switch a.Kind {
+		case KindProgram:
+			if a.Program == "" {
+				v.errf("%s: program activity without program", where)
+			}
+		case KindProcess:
+			if a.Subprocess == "" {
+				v.errf("%s: process activity without subprocess", where)
+			} else if v.known != nil && !v.known[a.Subprocess] {
+				v.errf("%s: unknown subprocess %q", where, a.Subprocess)
+			}
+			if a.Subprocess == v.p.Name {
+				v.errf("%s: process activity invokes its own process (recursion not allowed)", where)
+			}
+		case KindBlock:
+			if a.Block == nil {
+				v.errf("%s: block without body", where)
+			} else {
+				// Block containers are the activity containers.
+				if a.Block.InputType != a.InputType || a.Block.OutputType != a.OutputType {
+					v.errf("%s: block scope types must equal the activity container types", where)
+				}
+				v.checkGraph(a.Block, where)
+			}
+		default:
+			v.errf("%s: invalid kind %v", where, a.Kind)
+		}
+		v.checkType(a.InputType, where+" input")
+		v.checkType(a.OutputType, where+" output")
+		if a.Exit != nil {
+			v.checkCond(a.Exit, a.Out(), where+" exit condition")
+		}
+		if a.Start == StartManual && a.Staff.IsZero() {
+			v.errf("%s: manual start requires a staff assignment", where)
+		}
+		if a.NotifySeconds < 0 {
+			v.errf("%s: negative notification deadline", where)
+		}
+		if a.NotifySeconds > 0 && a.NotifyRole == "" {
+			v.errf("%s: notification deadline without a role to notify", where)
+		}
+	}
+
+	// Control connectors.
+	type edge struct{ from, to string }
+	seen := make(map[edge]bool)
+	for _, c := range g.Control {
+		where := fmt.Sprintf("%s connector %q -> %q", scope, c.From, c.To)
+		from, okF := names[c.From]
+		if !okF {
+			v.errf("%s: unknown source activity", where)
+		}
+		if _, okT := names[c.To]; !okT {
+			v.errf("%s: unknown target activity", where)
+		}
+		if c.From == c.To {
+			v.errf("%s: self loop", where)
+		}
+		if seen[edge{c.From, c.To}] {
+			v.errf("%s: duplicate connector", where)
+		}
+		seen[edge{c.From, c.To}] = true
+		if c.Condition != nil && okF {
+			v.checkCond(c.Condition, from.Out(), where+" transition condition")
+		}
+	}
+	v.checkAcyclic(g, scope, names)
+
+	// Data connectors.
+	for _, d := range g.Data {
+		where := fmt.Sprintf("%s data connector %q -> %q", scope, d.From, d.To)
+		var srcType, dstType string
+		switch {
+		case d.From == ScopeRef:
+			srcType = g.In()
+		case names[d.From] != nil:
+			srcType = names[d.From].Out()
+		default:
+			v.errf("%s: unknown source", where)
+			continue
+		}
+		switch {
+		case d.To == ScopeRef:
+			dstType = g.Out()
+		case names[d.To] != nil:
+			dstType = names[d.To].In()
+		default:
+			v.errf("%s: unknown target", where)
+			continue
+		}
+		if d.From == ScopeRef && d.To == ScopeRef {
+			v.errf("%s: maps scope input directly to scope output", where)
+		}
+		if len(d.Maps) == 0 {
+			v.errf("%s: no member maps", where)
+		}
+		for _, m := range d.Maps {
+			fk, err := v.p.Types.ResolvePath(srcType, splitPath(m.FromPath))
+			if err != nil {
+				v.errf("%s: source path %q: %v", where, m.FromPath, err)
+				continue
+			}
+			tk, err := v.p.Types.ResolvePath(dstType, splitPath(m.ToPath))
+			if err != nil {
+				v.errf("%s: target path %q: %v", where, m.ToPath, err)
+				continue
+			}
+			if fk != tk && !(fk == Long && tk == Float) {
+				v.errf("%s: map %q(%s) -> %q(%s) is not assignment compatible",
+					where, m.FromPath, fk, m.ToPath, tk)
+			}
+		}
+	}
+}
+
+// checkCond verifies that every member referenced by the condition resolves
+// to a scalar within the container type.
+func (v *validator) checkCond(n expr.Node, containerType, where string) {
+	for _, ref := range expr.Refs(n) {
+		if _, err := v.p.Types.ResolvePath(containerType, ref); err != nil {
+			v.errf("%s: %v", where, err)
+		}
+	}
+}
+
+// checkAcyclic verifies the control graph of one scope is a DAG (§3.2: a
+// workflow model is an acyclic directed graph; loops are expressed with
+// exit conditions, not back edges).
+func (v *validator) checkAcyclic(g *Graph, scope string, names map[string]*Activity) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(names))
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		switch color[n] {
+		case grey:
+			return false
+		case black:
+			return true
+		}
+		color[n] = grey
+		for _, c := range g.Outgoing(n) {
+			if _, ok := names[c.To]; !ok {
+				continue
+			}
+			if !visit(c.To) {
+				return false
+			}
+		}
+		color[n] = black
+		return true
+	}
+	for name := range names {
+		if !visit(name) {
+			v.errf("%s: control flow contains a cycle through %q", scope, name)
+			return
+		}
+	}
+}
+
+func splitPath(p string) []string {
+	if p == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 0; i <= len(p); i++ {
+		if i == len(p) || p[i] == '.' {
+			out = append(out, p[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package org implements the organizational model of §3.3 of the paper:
+// the description of an organization in terms of persons, roles and
+// hierarchical levels, the resolution of activity staff assignments to
+// eligible persons, per-person worklists where the same work item may
+// appear simultaneously on several lists until one person selects it, and
+// deadline notifications for work items that sit unselected too long.
+//
+// These are exactly the workflow features the paper points out are absent
+// from every advanced transaction model.
+package org
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Person is a member of the organization. A person can hold several roles
+// and reports to at most one manager (the hierarchy).
+type Person struct {
+	Name    string
+	Roles   []string
+	Manager string // name of the manager, "" for the top of the hierarchy
+	Level   int    // hierarchical level, 0 = top
+}
+
+// Directory is the organization database: persons, the roles they hold and
+// the reporting structure. It is safe for concurrent use.
+type Directory struct {
+	mu      sync.RWMutex
+	persons map[string]*Person
+	byRole  map[string][]string // role -> sorted person names
+}
+
+// NewDirectory returns an empty organization directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		persons: make(map[string]*Person),
+		byRole:  make(map[string][]string),
+	}
+}
+
+// AddPerson registers a person. The name must be unique and non-empty; the
+// manager, when named, must already exist (add top-down).
+func (d *Directory) AddPerson(p Person) error {
+	if p.Name == "" {
+		return errors.New("org: person with empty name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.persons[p.Name]; dup {
+		return fmt.Errorf("org: duplicate person %q", p.Name)
+	}
+	if p.Manager != "" {
+		m, ok := d.persons[p.Manager]
+		if !ok {
+			return fmt.Errorf("org: manager %q of %q not found", p.Manager, p.Name)
+		}
+		p.Level = m.Level + 1
+	}
+	cp := p
+	cp.Roles = append([]string(nil), p.Roles...)
+	d.persons[p.Name] = &cp
+	for _, r := range cp.Roles {
+		d.byRole[r] = insertSorted(d.byRole[r], p.Name)
+	}
+	return nil
+}
+
+// Person returns a copy of the named person's record.
+func (d *Directory) Person(name string) (Person, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.persons[name]
+	if !ok {
+		return Person{}, false
+	}
+	cp := *p
+	cp.Roles = append([]string(nil), p.Roles...)
+	return cp, true
+}
+
+// InRole returns the sorted names of all persons holding the role.
+func (d *Directory) InRole(role string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.byRole[role]...)
+}
+
+// Manager returns the manager of the named person.
+func (d *Directory) Manager(name string) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.persons[name]
+	if !ok || p.Manager == "" {
+		return "", false
+	}
+	return p.Manager, true
+}
+
+// Resolve maps a staff assignment to the eligible persons: a person
+// assignment resolves to that person, a role assignment to everyone holding
+// the role. An error is returned when nobody is eligible (the §3.3
+// notification hook would fire in a real deployment).
+func (d *Directory) Resolve(role, person string) ([]string, error) {
+	if person != "" {
+		if _, ok := d.Person(person); !ok {
+			return nil, fmt.Errorf("org: unknown person %q", person)
+		}
+		return []string{person}, nil
+	}
+	if role != "" {
+		ps := d.InRole(role)
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("org: no person holds role %q", role)
+		}
+		return ps, nil
+	}
+	return nil, errors.New("org: empty staff assignment")
+}
+
+func insertSorted(s []string, v string) []string {
+	i := sort.SearchStrings(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,229 @@
+package org
+
+import (
+	"sync"
+	"testing"
+)
+
+func newTestDir(t *testing.T) *Directory {
+	t.Helper()
+	d := NewDirectory()
+	adds := []Person{
+		{Name: "carol", Roles: []string{"manager"}},
+		{Name: "alice", Roles: []string{"clerk", "reviewer"}, Manager: "carol"},
+		{Name: "bob", Roles: []string{"clerk"}, Manager: "carol"},
+	}
+	for _, p := range adds {
+		if err := d.AddPerson(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestDirectoryBasics(t *testing.T) {
+	d := newTestDir(t)
+	if p, ok := d.Person("alice"); !ok || p.Level != 1 || p.Manager != "carol" {
+		t.Fatalf("alice: %+v %v", p, ok)
+	}
+	if _, ok := d.Person("zed"); ok {
+		t.Fatal("phantom person")
+	}
+	clerks := d.InRole("clerk")
+	if len(clerks) != 2 || clerks[0] != "alice" || clerks[1] != "bob" {
+		t.Fatalf("clerks: %v", clerks)
+	}
+	if m, ok := d.Manager("bob"); !ok || m != "carol" {
+		t.Fatalf("manager of bob: %q %v", m, ok)
+	}
+	if _, ok := d.Manager("carol"); ok {
+		t.Fatal("carol should have no manager")
+	}
+	// Mutating a returned copy must not affect the directory.
+	p, _ := d.Person("alice")
+	p.Roles[0] = "hacked"
+	if d.InRole("clerk")[0] != "alice" {
+		t.Fatal("directory aliased by returned copy")
+	}
+}
+
+func TestDirectoryErrors(t *testing.T) {
+	d := newTestDir(t)
+	if err := d.AddPerson(Person{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := d.AddPerson(Person{Name: "alice"}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := d.AddPerson(Person{Name: "dan", Manager: "ghost"}); err == nil {
+		t.Error("unknown manager accepted")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	d := newTestDir(t)
+	if got, err := d.Resolve("clerk", ""); err != nil || len(got) != 2 {
+		t.Fatalf("Resolve role: %v %v", got, err)
+	}
+	if got, err := d.Resolve("", "bob"); err != nil || len(got) != 1 || got[0] != "bob" {
+		t.Fatalf("Resolve person: %v %v", got, err)
+	}
+	// Person assignment wins over role.
+	if got, _ := d.Resolve("clerk", "bob"); len(got) != 1 {
+		t.Fatalf("person should win: %v", got)
+	}
+	if _, err := d.Resolve("ghostrole", ""); err == nil {
+		t.Error("empty role accepted")
+	}
+	if _, err := d.Resolve("", "ghost"); err == nil {
+		t.Error("unknown person accepted")
+	}
+	if _, err := d.Resolve("", ""); err == nil {
+		t.Error("empty assignment accepted")
+	}
+}
+
+func TestWorklistSharedItem(t *testing.T) {
+	d := newTestDir(t)
+	w := NewWorklists(d)
+	item, err := w.Post(WorkItem{Activity: "approve", Instance: "i1"}, "clerk", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The item is on both clerks' lists (§3.3).
+	if la, lb := w.List("alice"), w.List("bob"); len(la) != 1 || len(lb) != 1 {
+		t.Fatalf("lists: alice=%d bob=%d", len(la), len(lb))
+	}
+	if len(w.List("carol")) != 0 {
+		t.Fatal("carol should not see clerk work")
+	}
+	// First selection wins and removes it everywhere.
+	got, err := w.Select("bob", item.ID)
+	if err != nil || got.Activity != "approve" {
+		t.Fatalf("select: %+v %v", got, err)
+	}
+	if len(w.List("alice")) != 0 || len(w.List("bob")) != 0 {
+		t.Fatal("item not removed from all worklists")
+	}
+	if _, err := w.Select("alice", item.ID); err == nil {
+		t.Fatal("double selection accepted")
+	}
+	if w.Pending() != 0 {
+		t.Fatal("pending count wrong")
+	}
+}
+
+func TestWorklistSelectErrors(t *testing.T) {
+	d := newTestDir(t)
+	w := NewWorklists(d)
+	item, err := w.Post(WorkItem{Activity: "a"}, "", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Select("bob", item.ID); err == nil {
+		t.Fatal("bob selected alice's item")
+	}
+	if _, err := w.Select("alice", 999); err == nil {
+		t.Fatal("nonexistent item selected")
+	}
+	if _, err := w.Post(WorkItem{Activity: "x"}, "nobody-role", ""); err == nil {
+		t.Fatal("unresolvable staff accepted")
+	}
+}
+
+func TestDeadlineNotification(t *testing.T) {
+	d := newTestDir(t)
+	w := NewWorklists(d)
+	_, err := w.Post(WorkItem{
+		Activity: "approve", ReadyAt: 100, NotifyAfter: 60, NotifyRole: "manager",
+	}, "clerk", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CheckDeadlines(150); len(got) != 0 {
+		t.Fatalf("notified too early: %v", got)
+	}
+	got := w.CheckDeadlines(160)
+	if len(got) != 1 {
+		t.Fatalf("notifications: %v", got)
+	}
+	if len(got[0].Notified) != 1 || got[0].Notified[0] != "carol" {
+		t.Fatalf("notified: %v", got[0].Notified)
+	}
+	// At most once.
+	if got := w.CheckDeadlines(1000); len(got) != 0 {
+		t.Fatal("double notification")
+	}
+	if len(w.Notifications()) != 1 {
+		t.Fatal("notification log wrong")
+	}
+	// Selecting clears deadline state.
+	item2, _ := w.Post(WorkItem{Activity: "b", ReadyAt: 0, NotifyAfter: 10, NotifyRole: "manager"}, "clerk", "")
+	if _, err := w.Select("alice", item2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CheckDeadlines(100); len(got) != 0 {
+		t.Fatal("selected item still notifies")
+	}
+}
+
+func TestWorklistConcurrentSelect(t *testing.T) {
+	d := newTestDir(t)
+	w := NewWorklists(d)
+	const n = 50
+	ids := make([]int64, n)
+	for i := 0; i < n; i++ {
+		item, err := w.Post(WorkItem{Activity: "a"}, "clerk", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = item.ID
+	}
+	var wg sync.WaitGroup
+	wins := make(chan string, 2*n)
+	for _, person := range []string{"alice", "bob"} {
+		wg.Add(1)
+		go func(person string) {
+			defer wg.Done()
+			for _, id := range ids {
+				if _, err := w.Select(person, id); err == nil {
+					wins <- person
+				}
+			}
+		}(person)
+	}
+	wg.Wait()
+	close(wins)
+	total := 0
+	for range wins {
+		total++
+	}
+	if total != n {
+		t.Fatalf("each item must be selected exactly once: %d selections of %d items", total, n)
+	}
+	if w.Pending() != 0 {
+		t.Fatal("items left pending")
+	}
+}
+
+func TestSelectForInstanceCheck(t *testing.T) {
+	d := newTestDir(t)
+	w := NewWorklists(d)
+	item, err := w.Post(WorkItem{Activity: "a", Instance: "inst-1"}, "clerk", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.SelectFor("alice", item.ID, "inst-2"); err == nil {
+		t.Fatal("wrong instance accepted")
+	}
+	if w.Pending() != 1 {
+		t.Fatal("item consumed by failed SelectFor")
+	}
+	got, err := w.SelectFor("alice", item.ID, "inst-1")
+	if err != nil || got.Activity != "a" {
+		t.Fatalf("SelectFor: %+v %v", got, err)
+	}
+	if w.Pending() != 0 {
+		t.Fatal("item not claimed")
+	}
+}

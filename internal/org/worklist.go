@@ -1,0 +1,195 @@
+package org
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// WorkItem is a manual activity offered to eligible persons. The same item
+// appears on every eligible person's worklist; as soon as one person
+// selects it, it disappears from all other worklists (§3.3 — the paper's
+// load-balancing behaviour).
+type WorkItem struct {
+	ID       int64
+	Activity string // activity path within the process instance
+	Instance string // process instance id
+	Eligible []string
+	// ReadyAt is the engine's logical or wall-clock timestamp (seconds)
+	// when the item was posted; used for deadline notifications.
+	ReadyAt int64
+	// NotifyAfter and NotifyRole configure the escalation deadline; zero
+	// disables it.
+	NotifyAfter int64
+	NotifyRole  string
+}
+
+// Notification is an escalation event: a work item missed its deadline and
+// the persons holding NotifyRole were informed.
+type Notification struct {
+	Item     WorkItem
+	Notified []string
+	At       int64
+}
+
+// Worklists manages the pending work items of an organization. It is safe
+// for concurrent use.
+type Worklists struct {
+	dir *Directory
+
+	mu       sync.Mutex
+	nextID   int64
+	items    map[int64]*WorkItem
+	byPerson map[string]map[int64]bool
+	notified map[int64]bool
+	notes    []Notification
+}
+
+// NewWorklists returns an empty worklist manager over the directory.
+func NewWorklists(dir *Directory) *Worklists {
+	return &Worklists{
+		dir:      dir,
+		items:    make(map[int64]*WorkItem),
+		byPerson: make(map[string]map[int64]bool),
+		notified: make(map[int64]bool),
+	}
+}
+
+// Post offers a work item to every person eligible for the staff
+// assignment and returns the item with its assigned ID.
+func (w *Worklists) Post(item WorkItem, role, person string) (WorkItem, error) {
+	eligible, err := w.dir.Resolve(role, person)
+	if err != nil {
+		return WorkItem{}, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextID++
+	item.ID = w.nextID
+	item.Eligible = eligible
+	cp := item
+	w.items[item.ID] = &cp
+	for _, p := range eligible {
+		m := w.byPerson[p]
+		if m == nil {
+			m = make(map[int64]bool)
+			w.byPerson[p] = m
+		}
+		m[item.ID] = true
+	}
+	return item, nil
+}
+
+// List returns the work items currently on a person's worklist, ordered by
+// item ID.
+func (w *Worklists) List(person string) []WorkItem {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids := make([]int64, 0, len(w.byPerson[person]))
+	for id := range w.byPerson[person] {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]WorkItem, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *w.items[id])
+	}
+	return out
+}
+
+// Select claims the work item for the person: it is removed from every
+// worklist it appeared on. Selecting an item not on the person's list (or
+// already claimed by someone else) fails.
+func (w *Worklists) Select(person string, id int64) (WorkItem, error) {
+	return w.selectChecked(person, id, nil)
+}
+
+// SelectFor is Select restricted to items of one process instance: when
+// the item belongs to a different instance, nothing is claimed and the
+// item stays on every worklist. The engine uses it so that selecting
+// through the wrong instance handle cannot destroy the work item.
+func (w *Worklists) SelectFor(person string, id int64, instance string) (WorkItem, error) {
+	return w.selectChecked(person, id, &instance)
+}
+
+func (w *Worklists) selectChecked(person string, id int64, instance *string) (WorkItem, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	item, ok := w.items[id]
+	if !ok {
+		return WorkItem{}, fmt.Errorf("org: work item %d does not exist or was already selected", id)
+	}
+	if !w.byPerson[person][id] {
+		return WorkItem{}, fmt.Errorf("org: work item %d is not on %s's worklist", id, person)
+	}
+	if instance != nil && item.Instance != *instance {
+		return WorkItem{}, fmt.Errorf("org: work item %d belongs to instance %s", id, item.Instance)
+	}
+	for _, p := range item.Eligible {
+		delete(w.byPerson[p], id)
+	}
+	delete(w.items, id)
+	delete(w.notified, id)
+	return *item, nil
+}
+
+// Withdraw removes an unselected work item from every worklist without
+// anyone executing it — the engine uses it when a user forces an activity
+// to finish or cancels the process instance (§3.3 user intervention).
+func (w *Worklists) Withdraw(id int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	item, ok := w.items[id]
+	if !ok {
+		return fmt.Errorf("org: work item %d does not exist or was already selected", id)
+	}
+	for _, p := range item.Eligible {
+		delete(w.byPerson[p], id)
+	}
+	delete(w.items, id)
+	delete(w.notified, id)
+	return nil
+}
+
+// Pending reports the number of unselected work items.
+func (w *Worklists) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.items)
+}
+
+// CheckDeadlines fires the notification for every pending item whose
+// deadline elapsed at time now (same clock as WorkItem.ReadyAt). Each item
+// notifies at most once. The resulting notifications are returned and also
+// recorded (see Notifications).
+func (w *Worklists) CheckDeadlines(now int64) []Notification {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var fired []Notification
+	ids := make([]int64, 0, len(w.items))
+	for id := range w.items {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		item := w.items[id]
+		if item.NotifyAfter <= 0 || w.notified[id] {
+			continue
+		}
+		if now-item.ReadyAt < item.NotifyAfter {
+			continue
+		}
+		w.notified[id] = true
+		n := Notification{Item: *item, Notified: w.dir.InRole(item.NotifyRole), At: now}
+		w.notes = append(w.notes, n)
+		fired = append(fired, n)
+	}
+	return fired
+}
+
+// Notifications returns all notifications fired so far.
+func (w *Worklists) Notifications() []Notification {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Notification(nil), w.notes...)
+}

@@ -1,0 +1,34 @@
+package rm
+
+import (
+	"repro/internal/engine"
+)
+
+// Program adapts a subtransaction to an engine program: the workflow
+// activity's return code carries the transactional outcome, RC = 0 for
+// commit and RC = 1 for abort — the convention the generated workflow
+// processes of §4 condition on.
+func Program(sub Subtransaction, dec Decider, rec *Recorder) engine.Program {
+	return engine.ProgramFunc(func(inv *engine.Invocation) error {
+		committed, err := Exec(sub, dec, rec)
+		if err != nil {
+			return err
+		}
+		if committed {
+			inv.Out.SetRC(0)
+		} else {
+			inv.Out.SetRC(1)
+		}
+		return nil
+	})
+}
+
+// RegisterAll registers one program per subtransaction under its name.
+func RegisterAll(e *engine.Engine, subs []Subtransaction, dec Decider, rec *Recorder) error {
+	for _, sub := range subs {
+		if err := e.RegisterProgram(sub.Name, Program(sub, dec, rec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

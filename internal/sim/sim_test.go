@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/atm/flexible"
+	"repro/internal/atm/saga"
+	"repro/internal/fmtm"
+	"repro/internal/model"
+	"repro/internal/rm"
+	"repro/internal/wal"
+)
+
+func TestWorkloadGenerators(t *testing.T) {
+	e := NewEngine()
+	chain := Chain("chain", 10)
+	fan := FanOutIn("fan", 5)
+	dpe := DPEChain("dpe", 10)
+	for _, p := range []*model.Process{chain, fan, dpe} {
+		if err := p.Validate(nil); err != nil {
+			t.Fatalf("generated process %s invalid: %v", p.Name, err)
+		}
+		if err := e.RegisterProcess(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Chain executes all 10.
+	inst, err := e.CreateInstance("chain", nil, wal.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil || !inst.Finished() {
+		t.Fatalf("chain: %v", err)
+	}
+	if got := len(inst.ProgramRuns()); got != 10 {
+		t.Fatalf("chain runs = %d", got)
+	}
+	// Fan executes A + 5 workers + Z.
+	inst2, _ := e.CreateInstance("fan", nil, wal.Discard)
+	if err := inst2.Start(); err != nil || !inst2.Finished() {
+		t.Fatalf("fan: %v", err)
+	}
+	if got := len(inst2.ProgramRuns()); got != 7 {
+		t.Fatalf("fan runs = %d", got)
+	}
+	// DPE chain executes only the aborting head.
+	inst3, _ := e.CreateInstance("dpe", nil, wal.Discard)
+	if err := inst3.Start(); err != nil || !inst3.Finished() {
+		t.Fatalf("dpe: %v", err)
+	}
+	if got := len(inst3.ProgramRuns()); got != 1 {
+		t.Fatalf("dpe runs = %d", got)
+	}
+}
+
+func TestRandomDAGGeneratorValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p := RandomDAG("rand", r, 2+r.Intn(12), 0.4)
+		if err := p.Validate(nil); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomFlexibleWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		spec := RandomFlexible("rf", r, 1+r.Intn(4))
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		trie, err := flexible.BuildTrie(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := trie.CheckWellFormed(); err != nil {
+			t.Fatalf("seed %d: generator made an ill-formed spec: %v", seed, err)
+		}
+		// And it translates and runs.
+		p, err := fmtm.TranslateFlexible(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_ = p
+	}
+}
+
+// TestRandomFlexibleEquivalence: the generated random flexible specs run
+// identically as workflows and natively under random failure scripts.
+func TestRandomFlexibleEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		spec := RandomFlexible("rf", r, 1+r.Intn(3))
+		mkInj := func() *rm.Injector {
+			rr := rand.New(rand.NewSource(seed * 77))
+			inj := rm.NewInjector()
+			for _, sub := range spec.Subs {
+				if sub.Retriable {
+					if rr.Intn(3) == 0 {
+						inj.AbortN(sub.Name, 1+rr.Intn(2))
+					}
+					continue
+				}
+				if rr.Intn(3) == 0 {
+					inj.AbortAlways(sub.Name)
+				}
+			}
+			return inj
+		}
+		_, rec, err := runFlexibleAsWorkflow(spec, mkInj())
+		if err != nil {
+			t.Fatalf("seed %d: workflow: %v", seed, err)
+		}
+		nativeRec := &rm.Recorder{}
+		ex := &flexible.Executor{Decider: mkInj()}
+		if _, err := ex.Execute(spec, fmtm.PureFlexibleBinding(spec), nativeRec); err != nil {
+			t.Fatalf("seed %d: native: %v", seed, err)
+		}
+		if historyString(rec) != historyString(nativeRec) {
+			t.Fatalf("seed %d histories diverge:\nworkflow: %s\nnative:   %s",
+				seed, historyString(rec), historyString(nativeRec))
+		}
+	}
+}
+
+func TestExperimentsAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	for _, rep := range RunAllExperiments() {
+		if !rep.Pass {
+			t.Errorf("%s failed:\n%s", rep.ID, rep)
+		}
+		if !strings.Contains(rep.String(), rep.ID) {
+			t.Errorf("%s: report rendering broken", rep.ID)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "X", Title: "demo", Columns: []string{"a", "bb"}, Pass: true}
+	r.AddRow("1", "2")
+	out := r.String()
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "demo") {
+		t.Fatalf("report: %s", out)
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "FAIL") {
+		t.Fatal("fail verdict missing")
+	}
+}
+
+// TestFastBenchTables smoke-runs the cheap measurement harnesses so the
+// table-generating code is covered by the test suite; the full sweep
+// (including the multi-second contention series) is cmd/wfbench's job.
+func TestFastBenchTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement smoke tests skipped in -short mode")
+	}
+	for _, f := range []func() *Report{RunB1, RunB3, RunB5, RunB7, RunB8} {
+		rep := f()
+		if !rep.Pass || len(rep.Rows) == 0 {
+			t.Errorf("%s: pass=%v rows=%d", rep.ID, rep.Pass, len(rep.Rows))
+		}
+	}
+}
+
+func TestSimulateSaga(t *testing.T) {
+	spec := NStepSaga("s", 4)
+	// No failures: always commits, never compensates.
+	res, err := SimulateSaga(spec, nil, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommitRate != 1 || res.MeanCompensations != 0 {
+		t.Fatalf("clean run: %+v", res)
+	}
+	// T3 aborts with p=1: always aborts at step 3, compensating 2 steps.
+	res, err = SimulateSaga(spec, map[string]float64{"T3": 1}, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommitRate != 0 || res.AbortAt[2] != 1 || res.MeanCompensations != 2 {
+		t.Fatalf("forced abort: %+v", res)
+	}
+	// Intermediate probability: commit rate in (0,1), determinism by seed.
+	a, err := SimulateSaga(spec, map[string]float64{"T2": 0.3}, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := SimulateSaga(spec, map[string]float64{"T2": 0.3}, 2000, 7)
+	if a.CommitRate != b.CommitRate {
+		t.Fatal("not deterministic by seed")
+	}
+	if a.CommitRate < 0.6 || a.CommitRate > 0.8 {
+		t.Fatalf("commit rate = %v, want about 0.7", a.CommitRate)
+	}
+	// Invalid spec rejected.
+	if _, err := SimulateSaga(&saga.Spec{}, nil, 1, 1); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestSimulateFlexible(t *testing.T) {
+	spec := Fig3Flexible()
+	// No failures: p1 always.
+	res, err := SimulateFlexible(spec, nil, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PathRate["T1,T2,T4,T5,T6,T8"] != 1 || res.AbortRate != 0 {
+		t.Fatalf("clean run: %+v", res)
+	}
+	// T8 always aborts: p2 always, exactly one switch.
+	res, err = SimulateFlexible(spec, map[string]float64{"T8": 1}, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PathRate["T1,T2,T4,T7"] != 1 || res.MeanSwitches != 1 {
+		t.Fatalf("forced p2: %+v", res)
+	}
+	// Moderate failure everywhere non-retriable: mass distributes over the
+	// three paths plus global abort, in preference order p1 first.
+	abort := map[string]float64{}
+	for _, sub := range spec.Subs {
+		if !sub.Retriable {
+			abort[sub.Name] = 0.2
+		}
+	}
+	res, err = SimulateFlexible(spec, abort, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := res.sortedPaths()
+	if len(paths) == 0 || paths[0] != "T1,T2,T4,T5,T6,T8" {
+		t.Fatalf("p1 should dominate at p=0.2: %v %v", paths, res.PathRate)
+	}
+	if res.AbortRate == 0 || res.AbortRate > 0.5 {
+		t.Fatalf("abort rate = %v", res.AbortRate)
+	}
+	sum := res.AbortRate
+	for _, v := range res.PathRate {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("rates sum to %v", sum)
+	}
+	// Ill-formed spec rejected.
+	bad := Fig3Flexible()
+	bad.Subs[4] = flexible.SubSpec{Name: "T5"} // pivot: breaks well-formedness
+	if _, err := SimulateFlexible(bad, nil, 1, 1); err == nil {
+		t.Fatal("ill-formed spec accepted")
+	}
+}
+
+func TestRunS1(t *testing.T) {
+	rep := RunS1()
+	if !rep.Pass || len(rep.Rows) != 5 {
+		t.Fatalf("S1: %+v", rep)
+	}
+	// At p=0, everything commits on p1.
+	if rep.Rows[0][1] != "1.000" || rep.Rows[0][4] != "0.000" {
+		t.Fatalf("p=0 row: %v", rep.Rows[0])
+	}
+}

@@ -1,0 +1,197 @@
+package txdb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestDeterministicOrderingDeadlock forces the classic two-key ordering
+// deadlock with explicit synchronization: both transactions hold their
+// first exclusive lock before either requests the second, so the waits-for
+// cycle is guaranteed and exactly one transaction must be told to abort.
+func TestDeterministicOrderingDeadlock(t *testing.T) {
+	s := Open("db")
+	if err := s.Do(func(tx *Tx) error {
+		if err := tx.Put("a", "0"); err != nil {
+			return err
+		}
+		return tx.Put("b", "0")
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	errs := make(chan error, 2)
+	run := func(first, second string) {
+		tx := s.Begin()
+		if err := tx.Put(first, "x"); err != nil {
+			barrier.Done()
+			tx.Abort()
+			errs <- err
+			return
+		}
+		barrier.Done()
+		barrier.Wait() // both first locks are now held
+		err := tx.Put(second, "y")
+		if err != nil {
+			tx.Abort()
+			errs <- err
+			return
+		}
+		errs <- tx.Commit()
+	}
+	go run("a", "b")
+	go run("b", "a")
+
+	var deadlocks, commits int
+	for i := 0; i < 2; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			commits++
+		case errors.Is(err, ErrDeadlock):
+			deadlocks++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if deadlocks != 1 || commits != 1 {
+		t.Fatalf("deadlocks=%d commits=%d, want exactly one victim and one survivor", deadlocks, commits)
+	}
+	if _, _, dl := statsOf(s); dl != 1 {
+		t.Fatalf("stats deadlocks = %d", dl)
+	}
+	// The store is usable afterwards and the survivor's writes are intact.
+	if err := s.Do(func(tx *Tx) error {
+		_, _, err := tx.Get("a")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicConversionDeadlock forces the S->X upgrade deadlock:
+// both transactions hold a shared lock on the same key before either
+// upgrades.
+func TestDeterministicConversionDeadlock(t *testing.T) {
+	s := Open("db")
+	if err := s.Do(func(tx *Tx) error { return tx.Put("k", "0") }); err != nil {
+		t.Fatal(err)
+	}
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	errs := make(chan error, 2)
+	run := func() {
+		tx := s.Begin()
+		if _, _, err := tx.Get("k"); err != nil {
+			barrier.Done()
+			tx.Abort()
+			errs <- err
+			return
+		}
+		barrier.Done()
+		barrier.Wait() // both S locks held
+		err := tx.Put("k", "1")
+		if err != nil {
+			tx.Abort()
+			errs <- err
+			return
+		}
+		errs <- tx.Commit()
+	}
+	go run()
+	go run()
+	var deadlocks, commits int
+	for i := 0; i < 2; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			commits++
+		case errors.Is(err, ErrDeadlock):
+			deadlocks++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if deadlocks != 1 || commits != 1 {
+		t.Fatalf("deadlocks=%d commits=%d", deadlocks, commits)
+	}
+	// The survivor's write won.
+	var v string
+	if err := s.Do(func(tx *Tx) error {
+		got, _, err := tx.Get("k")
+		v = got
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v != "1" {
+		t.Fatalf("k = %q, want the survivor's write", v)
+	}
+}
+
+// TestThreeWayDeadlock builds a three-transaction cycle a->b->c->a.
+func TestThreeWayDeadlock(t *testing.T) {
+	s := Open("db")
+	keys := []string{"a", "b", "c"}
+	if err := s.Do(func(tx *Tx) error {
+		for _, k := range keys {
+			if err := tx.Put(k, "0"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var barrier sync.WaitGroup
+	barrier.Add(3)
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			tx := s.Begin()
+			if err := tx.Put(keys[i], "x"); err != nil {
+				barrier.Done()
+				tx.Abort()
+				errs <- err
+				return
+			}
+			barrier.Done()
+			barrier.Wait()
+			err := tx.Put(keys[(i+1)%3], "y")
+			if err != nil {
+				tx.Abort()
+				errs <- err
+				return
+			}
+			errs <- tx.Commit()
+		}(i)
+	}
+	var deadlocks, commits int
+	for i := 0; i < 3; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			commits++
+		case errors.Is(err, ErrDeadlock):
+			deadlocks++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	// At least one victim breaks the cycle; everyone else commits.
+	if deadlocks < 1 || deadlocks+commits != 3 {
+		t.Fatalf("deadlocks=%d commits=%d", deadlocks, commits)
+	}
+}
+
+func TestTxID(t *testing.T) {
+	s := Open("db")
+	t1, t2 := s.Begin(), s.Begin()
+	if t1.ID() == t2.ID() || t1.ID() == 0 {
+		t.Fatalf("ids: %d %d", t1.ID(), t2.ID())
+	}
+	t1.Abort()
+	t2.Abort()
+}
+
+func statsOf(s *Store) (int64, int64, int64) { return s.Stats() }

@@ -1,0 +1,343 @@
+// Package txdb implements the local database substrate of the
+// reproduction: an embedded transactional key-value store with strict
+// two-phase locking, lock upgrades, waits-for-graph deadlock detection and
+// before-image undo. Several independent Store instances stand in for the
+// heterogeneous local databases of the multidatabase environments that
+// flexible transactions target (§4.2): each store can unilaterally abort a
+// transaction (deadlock victim) and knows nothing of the others.
+//
+// The paper's §2 observation that "most databases today use Strict 2PL for
+// write operations" is taken literally: this store holds all locks to
+// commit/abort and releases them atomically.
+package txdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrDeadlock is returned by Get/Put/Delete when granting the lock would
+// close a cycle in the waits-for graph; the caller must abort the
+// transaction (it is the paper's "local database unilaterally aborts").
+var ErrDeadlock = errors.New("txdb: deadlock detected")
+
+// ErrTxDone is returned when a committed or aborted transaction is used.
+var ErrTxDone = errors.New("txdb: transaction already finished")
+
+type lockMode uint8
+
+const (
+	lockNone lockMode = iota
+	lockShared
+	lockExclusive
+)
+
+type lockState struct {
+	holders map[int64]lockMode
+}
+
+// Store is one local database. It is safe for concurrent use by many
+// transactions.
+type Store struct {
+	name string
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	data  map[string]string
+	locks map[string]*lockState
+	// waits is the waits-for graph: waiter id -> the holder ids it waits on.
+	waits  map[int64]map[int64]bool
+	nextTx int64
+
+	// stats
+	commits, aborts, deadlocks int64
+}
+
+// Open creates an empty store with the given name.
+func Open(name string) *Store {
+	s := &Store{
+		name:  name,
+		data:  make(map[string]string),
+		locks: make(map[string]*lockState),
+		waits: make(map[int64]map[int64]bool),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Name returns the store's name.
+func (s *Store) Name() string { return s.name }
+
+// Stats reports the number of committed and aborted transactions and how
+// many aborts were deadlock victims.
+func (s *Store) Stats() (commits, aborts, deadlocks int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commits, s.aborts, s.deadlocks
+}
+
+// Len reports the number of keys (uncommitted writes included, since
+// strict 2PL hides them from every other transaction anyway).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx {
+	s.mu.Lock()
+	s.nextTx++
+	id := s.nextTx
+	s.mu.Unlock()
+	return &Tx{store: s, id: id, held: make(map[string]lockMode)}
+}
+
+type undoRec struct {
+	key     string
+	value   string
+	existed bool
+}
+
+// Tx is a transaction. A Tx must be used from a single goroutine and must
+// end with Commit or Abort.
+type Tx struct {
+	store *Store
+	id    int64
+	held  map[string]lockMode
+	undo  []undoRec
+	done  bool
+}
+
+// ID returns the transaction identifier within its store.
+func (t *Tx) ID() int64 { return t.id }
+
+// Get reads a key under a shared lock.
+func (t *Tx) Get(key string) (string, bool, error) {
+	if t.done {
+		return "", false, ErrTxDone
+	}
+	if err := t.store.acquire(t, key, lockShared); err != nil {
+		return "", false, err
+	}
+	t.store.mu.Lock()
+	defer t.store.mu.Unlock()
+	v, ok := t.store.data[key]
+	return v, ok, nil
+}
+
+// Put writes a key under an exclusive lock, recording the before image.
+func (t *Tx) Put(key, value string) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if err := t.store.acquire(t, key, lockExclusive); err != nil {
+		return err
+	}
+	t.store.mu.Lock()
+	defer t.store.mu.Unlock()
+	old, existed := t.store.data[key]
+	t.undo = append(t.undo, undoRec{key: key, value: old, existed: existed})
+	t.store.data[key] = value
+	return nil
+}
+
+// Delete removes a key under an exclusive lock.
+func (t *Tx) Delete(key string) error {
+	if t.done {
+		return ErrTxDone
+	}
+	if err := t.store.acquire(t, key, lockExclusive); err != nil {
+		return err
+	}
+	t.store.mu.Lock()
+	defer t.store.mu.Unlock()
+	old, existed := t.store.data[key]
+	if existed {
+		t.undo = append(t.undo, undoRec{key: key, value: old, existed: true})
+		delete(t.store.data, key)
+	}
+	return nil
+}
+
+// Commit makes the transaction's writes durable and releases all locks.
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits++
+	s.releaseAllLocked(t)
+	return nil
+}
+
+// Abort undoes the transaction's writes (before images, in reverse order)
+// and releases all locks.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	s := t.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		if u.existed {
+			s.data[u.key] = u.value
+		} else {
+			delete(s.data, u.key)
+		}
+	}
+	s.aborts++
+	s.releaseAllLocked(t)
+	return nil
+}
+
+func (s *Store) releaseAllLocked(t *Tx) {
+	for key := range t.held {
+		ls := s.locks[key]
+		if ls != nil {
+			delete(ls.holders, t.id)
+			if len(ls.holders) == 0 {
+				delete(s.locks, key)
+			}
+		}
+	}
+	delete(s.waits, t.id)
+	s.cond.Broadcast()
+}
+
+// acquire blocks until the lock is granted or a deadlock is detected.
+func (s *Store) acquire(t *Tx, key string, mode lockMode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.held[key] >= mode {
+		return nil // already held at sufficient strength
+	}
+	for {
+		ls := s.locks[key]
+		if ls == nil {
+			ls = &lockState{holders: make(map[int64]lockMode)}
+			s.locks[key] = ls
+		}
+		if s.grantable(ls, t.id, mode) {
+			ls.holders[t.id] = mode
+			t.held[key] = mode
+			delete(s.waits, t.id)
+			return nil
+		}
+		// Record who we wait for and look for a cycle through us.
+		blockers := make(map[int64]bool)
+		for h := range ls.holders {
+			if h != t.id {
+				blockers[h] = true
+			}
+		}
+		s.waits[t.id] = blockers
+		if s.cycleFrom(t.id) {
+			delete(s.waits, t.id)
+			s.deadlocks++
+			return fmt.Errorf("%w: store %s, key %q, tx %d", ErrDeadlock, s.name, key, t.id)
+		}
+		s.cond.Wait()
+		delete(s.waits, t.id)
+	}
+}
+
+// grantable implements S/X compatibility with upgrade: S is granted when no
+// other transaction holds X; X is granted when no other transaction holds
+// any lock (an S lock held by the requester upgrades).
+func (s *Store) grantable(ls *lockState, tx int64, mode lockMode) bool {
+	for h, m := range ls.holders {
+		if h == tx {
+			continue
+		}
+		if mode == lockExclusive || m == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// cycleFrom reports whether the waits-for graph has a cycle reachable from
+// the given transaction.
+func (s *Store) cycleFrom(start int64) bool {
+	seen := make(map[int64]bool)
+	var stack []int64
+	stack = append(stack, start)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range s.waits[n] {
+			if m == start {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// Do runs fn inside a transaction, committing on nil and aborting on error
+// or panic. ErrDeadlock is passed through for the caller to retry.
+func (s *Store) Do(fn func(tx *Tx) error) error {
+	tx := s.Begin()
+	defer func() {
+		if !tx.done {
+			_ = tx.Abort()
+		}
+	}()
+	if err := fn(tx); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// DoRetry runs fn in a transaction, retrying on deadlock up to attempts
+// times.
+func (s *Store) DoRetry(attempts int, fn func(tx *Tx) error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = s.Do(fn)
+		if !errors.Is(err, ErrDeadlock) {
+			return err
+		}
+	}
+	return err
+}
+
+// Multibase is a set of independent local databases keyed by name — the
+// heterogeneous multidatabase environment of §4.2.
+type Multibase struct {
+	stores map[string]*Store
+}
+
+// NewMultibase creates one store per name.
+func NewMultibase(names ...string) *Multibase {
+	m := &Multibase{stores: make(map[string]*Store, len(names))}
+	for _, n := range names {
+		m.stores[n] = Open(n)
+	}
+	return m
+}
+
+// Store returns the named local database, or nil.
+func (m *Multibase) Store(name string) *Store { return m.stores[name] }
+
+// Names returns the database names (unordered).
+func (m *Multibase) Names() []string {
+	out := make([]string, 0, len(m.stores))
+	for n := range m.stores {
+		out = append(out, n)
+	}
+	return out
+}

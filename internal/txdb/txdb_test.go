@@ -1,0 +1,458 @@
+package txdb
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicCRUD(t *testing.T) {
+	s := Open("db1")
+	if s.Name() != "db1" {
+		t.Fatal("name")
+	}
+	tx := s.Begin()
+	if _, ok, err := tx.Get("a"); err != nil || ok {
+		t.Fatalf("empty get: %v %v", ok, err)
+	}
+	if err := tx.Put("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := tx.Get("a"); err != nil || !ok || v != "1" {
+		t.Fatalf("read own write: %q %v %v", v, ok, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := s.Begin()
+	if v, ok, _ := tx2.Get("a"); !ok || v != "1" {
+		t.Fatalf("committed value: %q %v", v, ok)
+	}
+	if err := tx2.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tx2.Get("a"); ok {
+		t.Fatal("delete not visible to self")
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("store not empty")
+	}
+}
+
+func TestAbortUndo(t *testing.T) {
+	s := Open("db")
+	if err := s.Do(func(tx *Tx) error { return tx.Put("a", "old") }); err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	if err := tx.Put("a", "new1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("a", "new2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("b", "created"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := s.Begin()
+	defer tx2.Abort()
+	if v, ok, _ := tx2.Get("a"); !ok || v != "old" {
+		t.Fatalf("a after abort: %q %v, want old", v, ok)
+	}
+	if _, ok, _ := tx2.Get("b"); ok {
+		t.Fatal("b survived abort")
+	}
+}
+
+func TestTxDoneErrors(t *testing.T) {
+	s := Open("db")
+	tx := s.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Error("double commit")
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Error("abort after commit")
+	}
+	if _, _, err := tx.Get("a"); !errors.Is(err, ErrTxDone) {
+		t.Error("get after commit")
+	}
+	if err := tx.Put("a", "1"); !errors.Is(err, ErrTxDone) {
+		t.Error("put after commit")
+	}
+	if err := tx.Delete("a"); !errors.Is(err, ErrTxDone) {
+		t.Error("delete after commit")
+	}
+}
+
+func TestSharedLocksAllowConcurrentReaders(t *testing.T) {
+	s := Open("db")
+	if err := s.Do(func(tx *Tx) error { return tx.Put("a", "1") }); err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := s.Begin(), s.Begin()
+	if _, _, err := t1.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := t2.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	t1.Commit()
+	t2.Commit()
+}
+
+func TestExclusiveBlocksUntilCommit(t *testing.T) {
+	s := Open("db")
+	writer := s.Begin()
+	if err := writer.Put("a", "dirty"); err != nil {
+		t.Fatal(err)
+	}
+	read := make(chan string)
+	go func() {
+		v := ""
+		_ = s.Do(func(tx *Tx) error {
+			got, _, err := tx.Get("a")
+			v = got
+			return err
+		})
+		read <- v
+	}()
+	// The reader must block; give it a moment, then commit.
+	select {
+	case v := <-read:
+		t.Fatalf("reader saw %q before writer committed", v)
+	default:
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-read; v != "dirty" {
+		t.Fatalf("reader saw %q after commit", v)
+	}
+}
+
+func TestLockUpgrade(t *testing.T) {
+	s := Open("db")
+	tx := s.Begin()
+	if _, _, err := tx.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("a", "1"); err != nil { // S -> X upgrade, sole holder
+		t.Fatal(err)
+	}
+	tx.Commit()
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := Open("db")
+	if err := s.Do(func(tx *Tx) error {
+		if err := tx.Put("a", "0"); err != nil {
+			return err
+		}
+		return tx.Put("b", "0")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := make(chan struct{})
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			tx := s.Begin()
+			defer func() {
+				if !tx.done {
+					tx.Abort()
+				}
+			}()
+			k1, k2 := "a", "b"
+			if i == 1 {
+				k1, k2 = "b", "a"
+			}
+			if err := tx.Put(k1, "x"); err != nil {
+				errs <- err
+				tx.Abort()
+				return
+			}
+			if err := tx.Put(k2, "y"); err != nil {
+				errs <- err
+				tx.Abort()
+				return
+			}
+			errs <- tx.Commit()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	var deadlocks, commits int
+	for err := range errs {
+		switch {
+		case err == nil:
+			commits++
+		case errors.Is(err, ErrDeadlock):
+			deadlocks++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	// Either they serialized cleanly (0 deadlocks possible if one finished
+	// before the other started) or exactly one was the victim.
+	if commits < 1 {
+		t.Fatalf("commits = %d, deadlock victims = %d", commits, deadlocks)
+	}
+	if deadlocks > 0 {
+		_, _, dl := s.Stats()
+		if dl < 1 {
+			t.Error("deadlock not counted in stats")
+		}
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	// Two transactions S-lock the same key, then both try to upgrade:
+	// a classic conversion deadlock; one must be told to abort.
+	s := Open("db")
+	if err := s.Do(func(tx *Tx) error { return tx.Put("k", "0") }); err != nil {
+		t.Fatal(err)
+	}
+	barrier := make(chan struct{})
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := s.Begin()
+			if _, _, err := tx.Get("k"); err != nil {
+				errs <- err
+				tx.Abort()
+				return
+			}
+			<-barrier // both hold S now? (barrier closed after both reads)
+			err := tx.Put("k", "1")
+			if err != nil {
+				tx.Abort()
+				errs <- err
+				return
+			}
+			errs <- tx.Commit()
+		}()
+	}
+	// Let both goroutines take their S locks, then release the barrier.
+	// S locks are compatible, so both Gets complete without the barrier.
+	close(barrier)
+	wg.Wait()
+	close(errs)
+	var deadlocks, ok int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrDeadlock):
+			deadlocks++
+		default:
+			t.Fatalf("unexpected: %v", err)
+		}
+	}
+	if ok < 1 {
+		t.Fatalf("no transaction succeeded (ok=%d, deadlocks=%d)", ok, deadlocks)
+	}
+}
+
+// TestBankTransferInvariant hammers the store with concurrent transfers;
+// strict 2PL must preserve the total.
+func TestBankTransferInvariant(t *testing.T) {
+	s := Open("bank")
+	const accounts = 8
+	const total = 8000
+	if err := s.Do(func(tx *Tx) error {
+		for i := 0; i < accounts; i++ {
+			if err := tx.Put(fmt.Sprintf("acct%d", i), strconv.Itoa(total/accounts)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				from := fmt.Sprintf("acct%d", (w+i)%accounts)
+				to := fmt.Sprintf("acct%d", (w*3+i*7+1)%accounts)
+				if from == to {
+					continue
+				}
+				_ = s.DoRetry(20, func(tx *Tx) error {
+					fv, _, err := tx.Get(from)
+					if err != nil {
+						return err
+					}
+					tv, _, err := tx.Get(to)
+					if err != nil {
+						return err
+					}
+					f, _ := strconv.Atoi(fv)
+					g, _ := strconv.Atoi(tv)
+					if f < 1 {
+						return nil
+					}
+					if err := tx.Put(from, strconv.Itoa(f-1)); err != nil {
+						return err
+					}
+					return tx.Put(to, strconv.Itoa(g+1))
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	if err := s.Do(func(tx *Tx) error {
+		for i := 0; i < accounts; i++ {
+			v, _, err := tx.Get(fmt.Sprintf("acct%d", i))
+			if err != nil {
+				return err
+			}
+			n, _ := strconv.Atoi(v)
+			sum += n
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != total {
+		t.Fatalf("total = %d, want %d (atomicity violated)", sum, total)
+	}
+	commits, aborts, _ := s.Stats()
+	if commits == 0 {
+		t.Errorf("stats: commits=%d aborts=%d", commits, aborts)
+	}
+}
+
+func TestDoAndDoRetry(t *testing.T) {
+	s := Open("db")
+	sentinel := errors.New("app error")
+	if err := s.Do(func(tx *Tx) error {
+		if err := tx.Put("a", "1"); err != nil {
+			return err
+		}
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("Do: %v", err)
+	}
+	// The failed Do aborted: no residue.
+	if s.Len() != 0 {
+		t.Fatal("aborted write survived")
+	}
+	attempts := 0
+	err := s.DoRetry(3, func(tx *Tx) error {
+		attempts++
+		return fmt.Errorf("wrapped: %w", ErrDeadlock)
+	})
+	if !errors.Is(err, ErrDeadlock) || attempts != 3 {
+		t.Fatalf("DoRetry: %v after %d attempts", err, attempts)
+	}
+}
+
+func TestMultibase(t *testing.T) {
+	m := NewMultibase("airline", "hotel", "car")
+	if len(m.Names()) != 3 {
+		t.Fatal("names")
+	}
+	if m.Store("airline") == nil || m.Store("ghost") != nil {
+		t.Fatal("store lookup")
+	}
+	// Independence: a write in one store is invisible in another.
+	if err := m.Store("airline").Do(func(tx *Tx) error { return tx.Put("k", "v") }); err != nil {
+		t.Fatal(err)
+	}
+	if m.Store("hotel").Len() != 0 {
+		t.Fatal("stores not independent")
+	}
+}
+
+// TestQuickAbortRestoresState: random operation sequences applied in a
+// transaction then aborted leave the store exactly as before.
+func TestQuickAbortRestoresState(t *testing.T) {
+	f := func(ops []uint8, seed uint8) bool {
+		s := Open("q")
+		// Seed committed state.
+		_ = s.Do(func(tx *Tx) error {
+			for i := 0; i < int(seed%8); i++ {
+				if err := tx.Put(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		before := snapshot(s)
+		tx := s.Begin()
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%10)
+			switch op % 3 {
+			case 0:
+				if err := tx.Put(key, fmt.Sprintf("new%d", i)); err != nil {
+					return false
+				}
+			case 1:
+				if err := tx.Delete(key); err != nil {
+					return false
+				}
+			case 2:
+				if _, _, err := tx.Get(key); err != nil {
+					return false
+				}
+			}
+		}
+		if err := tx.Abort(); err != nil {
+			return false
+		}
+		after := snapshot(s)
+		if len(before) != len(after) {
+			return false
+		}
+		for k, v := range before {
+			if after[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func snapshot(s *Store) map[string]string {
+	out := map[string]string{}
+	_ = s.Do(func(tx *Tx) error {
+		for i := 0; i < 16; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if v, ok, err := tx.Get(k); err == nil && ok {
+				out[k] = v
+			}
+		}
+		return nil
+	})
+	return out
+}

@@ -1,0 +1,327 @@
+// Package wal implements the persistence substrate behind the paper's
+// §3.3 claim that "in most WFMSs the execution of a process is persistent
+// in the sense that forward recovery is always guaranteed". The engine
+// appends a record whenever an instance is created, an activity completes
+// (with its output container), or the instance finishes. After a crash the
+// engine re-navigates the instance deterministically, consuming logged
+// outputs instead of re-invoking the corresponding programs; activities
+// that had started but never logged a completion are re-executed from the
+// beginning — the paper's explicit caveat about non-failure-atomic
+// activities.
+//
+// Two log implementations are provided: an in-memory log with optional
+// crash injection (for recovery tests) and a file-backed JSON-lines log.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/expr"
+)
+
+// RecordType discriminates log records.
+type RecordType string
+
+// The record types appended by the engine.
+const (
+	// RecCreated opens an instance: Process and Values (the input
+	// container) are set.
+	RecCreated RecordType = "created"
+	// RecFinishedActivity records the completion of one activity
+	// execution: Path, Iter and Values (the output container snapshot).
+	RecFinishedActivity RecordType = "activity"
+	// RecStartedActivity records that an activity began executing. It
+	// carries no output; a started record without a matching finished
+	// record marks a half-executed activity that recovery re-runs.
+	RecStartedActivity RecordType = "started"
+	// RecDone closes an instance: Values is the process output container.
+	RecDone RecordType = "done"
+)
+
+// Record is one WAL entry.
+type Record struct {
+	Type     RecordType
+	Instance string
+	Process  string // RecCreated only
+	Path     string // activity path within the instance
+	Iter     int    // exit-condition iteration of the activity execution
+	Values   map[string]expr.Value
+}
+
+// Log is an append-only record sink.
+type Log interface {
+	Append(rec Record) error
+}
+
+// ErrCrash is returned by a crash-injecting log when the configured crash
+// point is reached; the engine treats it as a hard stop.
+var ErrCrash = errors.New("wal: injected crash")
+
+// MemLog is an in-memory log. CrashAfter > 0 makes the log return ErrCrash
+// on the (CrashAfter+1)-th append, simulating a failure of the workflow
+// server at that navigation point. MemLog is safe for concurrent use.
+type MemLog struct {
+	mu         sync.Mutex
+	records    []Record
+	CrashAfter int // 0 = never crash
+}
+
+// Append implements Log.
+func (l *MemLog) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.CrashAfter > 0 && len(l.records) >= l.CrashAfter {
+		return ErrCrash
+	}
+	l.records = append(l.records, cloneRecord(rec))
+	return nil
+}
+
+// Records returns a copy of the appended records — what survives the
+// "crash" and is handed to recovery.
+func (l *MemLog) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	for i := range l.records {
+		out[i] = cloneRecord(l.records[i])
+	}
+	return out
+}
+
+// Len reports the number of records appended so far.
+func (l *MemLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+func cloneRecord(r Record) Record {
+	if r.Values != nil {
+		vals := make(map[string]expr.Value, len(r.Values))
+		for k, v := range r.Values {
+			vals[k] = v
+		}
+		r.Values = vals
+	}
+	return r
+}
+
+// FileLog appends JSON-line records to a file. It is safe for concurrent
+// use. Close flushes buffered data.
+type FileLog struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// OpenFileLog creates (or truncates) a file-backed log.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &FileLog{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append implements Log.
+func (l *FileLog) Append(rec Record) error {
+	b, err := Marshal(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(b); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.f.Close()
+}
+
+// jsonValue is the wire form of an expr.Value. Integers travel as strings
+// to keep 64-bit precision.
+type jsonValue struct {
+	K string  `json:"k"`
+	I string  `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+	B bool    `json:"b,omitempty"`
+}
+
+type jsonRecord struct {
+	Type     RecordType           `json:"t"`
+	Instance string               `json:"inst"`
+	Process  string               `json:"proc,omitempty"`
+	Path     string               `json:"path,omitempty"`
+	Iter     int                  `json:"iter,omitempty"`
+	Values   map[string]jsonValue `json:"vals,omitempty"`
+}
+
+// Marshal encodes a record as one JSON line (without the trailing newline).
+func Marshal(rec Record) ([]byte, error) {
+	jr := jsonRecord{
+		Type: rec.Type, Instance: rec.Instance, Process: rec.Process,
+		Path: rec.Path, Iter: rec.Iter,
+	}
+	if rec.Values != nil {
+		jr.Values = make(map[string]jsonValue, len(rec.Values))
+		for k, v := range rec.Values {
+			jv, err := encodeValue(v)
+			if err != nil {
+				return nil, fmt.Errorf("wal: member %q: %w", k, err)
+			}
+			jr.Values[k] = jv
+		}
+	}
+	return json.Marshal(jr)
+}
+
+// Unmarshal decodes one JSON line into a record.
+func Unmarshal(b []byte) (Record, error) {
+	var jr jsonRecord
+	if err := json.Unmarshal(b, &jr); err != nil {
+		return Record{}, fmt.Errorf("wal: %w", err)
+	}
+	rec := Record{
+		Type: jr.Type, Instance: jr.Instance, Process: jr.Process,
+		Path: jr.Path, Iter: jr.Iter,
+	}
+	if jr.Values != nil {
+		rec.Values = make(map[string]expr.Value, len(jr.Values))
+		for k, jv := range jr.Values {
+			v, err := decodeValue(jv)
+			if err != nil {
+				return Record{}, fmt.Errorf("wal: member %q: %w", k, err)
+			}
+			rec.Values[k] = v
+		}
+	}
+	return rec, nil
+}
+
+func encodeValue(v expr.Value) (jsonValue, error) {
+	switch v.Kind() {
+	case expr.KindInt:
+		return jsonValue{K: "I", I: strconv.FormatInt(v.AsInt(), 10)}, nil
+	case expr.KindFloat:
+		return jsonValue{K: "F", F: v.AsFloat()}, nil
+	case expr.KindString:
+		return jsonValue{K: "S", S: v.AsString()}, nil
+	case expr.KindBool:
+		return jsonValue{K: "B", B: v.AsBool()}, nil
+	default:
+		return jsonValue{}, fmt.Errorf("cannot encode %s value", v.Kind())
+	}
+}
+
+func decodeValue(jv jsonValue) (expr.Value, error) {
+	switch jv.K {
+	case "I":
+		i, err := strconv.ParseInt(jv.I, 10, 64)
+		if err != nil {
+			return expr.Null, err
+		}
+		return expr.Int(i), nil
+	case "F":
+		return expr.Float(jv.F), nil
+	case "S":
+		return expr.String_(jv.S), nil
+	case "B":
+		return expr.Bool(jv.B), nil
+	default:
+		return expr.Null, fmt.Errorf("unknown value kind %q", jv.K)
+	}
+}
+
+// ReadAll decodes a JSON-lines log stream, e.g. a file written by FileLog.
+func ReadAll(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		rec, err := Unmarshal(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("wal: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return out, nil
+}
+
+// ReadFile reads a file-backed log from disk.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// Discard is a Log that drops every record; used by benchmarks to measure
+// navigation without persistence (the B7 ablation).
+var Discard Log = discard{}
+
+type discard struct{}
+
+func (discard) Append(Record) error { return nil }
+
+// Compact reduces a log without changing what recovery reconstructs from
+// it: a RecStartedActivity record whose (path, iter) later finished is
+// dropped. Started records exist only to witness half-executed activities
+// (recovery re-runs them from the beginning), and an execution with a
+// logged completion is not half-executed. All RecFinishedActivity records
+// are kept — replay consumes every iteration's output while re-navigating
+// exit-condition loops. Compact returns a new slice; the input is not
+// modified.
+func Compact(records []Record) []Record {
+	finished := make(map[string]map[int]bool)
+	for _, r := range records {
+		if r.Type != RecFinishedActivity {
+			continue
+		}
+		m := finished[r.Path]
+		if m == nil {
+			m = make(map[int]bool)
+			finished[r.Path] = m
+		}
+		m[r.Iter] = true
+	}
+	out := make([]Record, 0, len(records))
+	for _, r := range records {
+		if r.Type == RecStartedActivity && finished[r.Path][r.Iter] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
