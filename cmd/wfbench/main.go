@@ -1,6 +1,7 @@
 // Command wfbench regenerates the evaluation of EXPERIMENTS.md: the
-// correctness experiments E1–E6 that reproduce the paper's figures and
-// appendix traces, and the measurement tables B1–B8.
+// correctness experiments E1–E7 that reproduce the paper's figures and
+// appendix traces (plus the WAL crash soak), and the measurement tables
+// B1–B8.
 //
 //	wfbench                  # run everything
 //	wfbench -experiment E2   # one correctness experiment
@@ -18,12 +19,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "E1..E6, all, or none")
+	exp := flag.String("experiment", "all", "E1..E7, all, or none")
 	bench := flag.String("bench", "all", "B1..B8, S1, all, or none")
 	flag.Parse()
 
 	experiments := map[string]func() *sim.Report{
 		"E1": sim.RunE1, "E2": sim.RunE2, "E3": sim.RunE3, "E4": sim.RunE4, "E5": sim.RunE5, "E6": sim.RunE6,
+		"E7": sim.RunE7,
 	}
 	benches := map[string]func() *sim.Report{
 		"B1": sim.RunB1, "B2": sim.RunB2, "B3": sim.RunB3, "B4": sim.RunB4,
@@ -57,7 +59,7 @@ func main() {
 			}
 		}
 	}
-	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6"})
+	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"})
 	run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "S1"})
 	if failed {
 		os.Exit(1)

@@ -9,9 +9,18 @@
 //
 //	wfrun -process travel -abort book_car travel.fdl
 //	wfrun -process fig3 -abort T8 -abort-n T7=2 fig3.fdl
+//
+// With -wal the navigation log is written to a CRC-framed file (add
+// -fsync for a durable append per record), and -crash-at N simulates a
+// server failure after N records: the run stops with an injected crash,
+// the log is repaired (truncate-and-resume) and a fresh engine recovers
+// the instance from it, demonstrating the §3.3 forward-recovery path:
+//
+//	wfrun -process travel -abort book_car -wal travel.wal -crash-at 5 travel.fdl
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +31,7 @@ import (
 	"repro/internal/fdl"
 	"repro/internal/fmtm"
 	"repro/internal/rm"
+	"repro/internal/wal"
 )
 
 type multiFlag []string
@@ -32,17 +42,23 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 func main() {
 	process := flag.String("process", "", "process template to instantiate (default: the file's first process)")
 	trace := flag.Bool("trace", true, "print the audit trail")
+	walPath := flag.String("wal", "", "write the navigation log to this file (default: in-memory)")
+	fsync := flag.Bool("fsync", false, "fsync the WAL after every record (requires -wal)")
+	crashAt := flag.Int("crash-at", 0, "inject a crash after N WAL records, then repair and recover (requires -wal)")
 	var aborts, abortNs multiFlag
 	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
 	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... file.fdl\n")
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n]] file.fdl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *walPath == "" && (*fsync || *crashAt > 0) {
+		fatal(errors.New("-fsync and -crash-at require -wal"))
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -64,46 +80,96 @@ func main() {
 		name = file.Processes[0].Name
 	}
 
-	inj := rm.NewInjector()
-	for _, a := range aborts {
-		inj.AbortAlways(a)
-	}
-	for _, spec := range abortNs {
-		parts := strings.SplitN(spec, "=", 2)
-		if len(parts) != 2 {
-			fatal(fmt.Errorf("-abort-n wants name=k, got %q", spec))
+	// build assembles a fresh engine with freshly scripted resource
+	// managers; recovery after -crash-at uses a second one, exactly as a
+	// restarted workflow server would.
+	build := func() (*engine.Engine, *rm.Recorder) {
+		inj := rm.NewInjector()
+		for _, a := range aborts {
+			inj.AbortAlways(a)
 		}
-		k, err := strconv.Atoi(parts[1])
-		if err != nil {
-			fatal(fmt.Errorf("-abort-n %q: %v", spec, err))
+		for _, spec := range abortNs {
+			parts := strings.SplitN(spec, "=", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("-abort-n wants name=k, got %q", spec))
+			}
+			k, err := strconv.Atoi(parts[1])
+			if err != nil {
+				fatal(fmt.Errorf("-abort-n %q: %v", spec, err))
+			}
+			inj.AbortN(parts[0], k)
 		}
-		inj.AbortN(parts[0], k)
-	}
-
-	rec := &rm.Recorder{}
-	e := engine.New()
-	for _, prog := range file.Programs {
-		if prog.Name == fmtm.CopyName {
-			if err := fmtm.RegisterRuntime(e); err != nil {
+		rec := &rm.Recorder{}
+		e := engine.New()
+		for _, prog := range file.Programs {
+			if prog.Name == fmtm.CopyName {
+				if err := fmtm.RegisterRuntime(e); err != nil {
+					fatal(err)
+				}
+				continue
+			}
+			sub := rm.Subtransaction{Name: prog.Name}
+			if err := e.RegisterProgram(prog.Name, rm.Program(sub, inj, rec)); err != nil {
 				fatal(err)
 			}
-			continue
 		}
-		sub := rm.Subtransaction{Name: prog.Name}
-		if err := e.RegisterProgram(prog.Name, rm.Program(sub, inj, rec)); err != nil {
+		if err := fmtm.Install(e, file); err != nil {
 			fatal(err)
 		}
-	}
-	if err := fmtm.Install(e, file); err != nil {
-		fatal(err)
+		return e, rec
 	}
 
-	inst, err := e.CreateInstance(name, nil, nil)
+	var log wal.Log
+	var flog *wal.FileLog
+	if *walPath != "" {
+		var opts []wal.FileOption
+		if *fsync {
+			opts = append(opts, wal.WithFsync())
+		}
+		flog, err = wal.OpenFileLog(*walPath, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		log = flog
+		if *crashAt > 0 {
+			log = wal.NewFaultLog(flog, *crashAt, false)
+		}
+	}
+
+	e, rec := build()
+	inst, err := e.CreateInstance(name, nil, log)
 	if err != nil {
 		fatal(err)
 	}
-	if err := inst.Start(); err != nil {
+	err = inst.Start()
+	switch {
+	case *crashAt > 0:
+		if !errors.Is(err, wal.ErrCrash) {
+			fatal(fmt.Errorf("expected injected crash after %d records, got: %v", *crashAt, err))
+		}
+		if err := flog.Close(); err != nil {
+			fatal(err)
+		}
+		recs, dropped, err := wal.RepairFile(*walPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("crashed after %d records; repaired %s: %d records kept, %d bytes truncated\n",
+			*crashAt, *walPath, len(recs), dropped)
+		e2, rec2 := build()
+		inst, err = engine.Recover(e2, recs, nil)
+		if err != nil {
+			fatal(err)
+		}
+		rec = rec2
+	case err != nil:
 		fatal(err)
+	default:
+		if flog != nil {
+			if err := flog.Close(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	if *trace {
 		for _, ev := range inst.Trail() {

@@ -42,6 +42,9 @@ type Invocation struct {
 	// Out is the output container the program fills in; set RC to 0 for
 	// commit and non-zero for abort.
 	Out *model.Container
+	// Attempt is the 1-based invocation attempt under the activity's
+	// retry policy (1 unless a previous attempt failed transiently).
+	Attempt int
 }
 
 // Program is an application registered with the engine and invoked by
@@ -81,6 +84,7 @@ type Engine struct {
 	worklists *org.Worklists
 
 	clock       func() int64
+	sleep       func(time.Duration)
 	concurrency int
 	nextID      atomic.Int64
 
@@ -106,6 +110,14 @@ func WithClock(clock func() int64) Option {
 	return func(e *Engine) { e.clock = clock }
 }
 
+// WithSleep replaces the sleep function used for retry backoff between
+// program invocation attempts; the default is time.Sleep. Tests inject a
+// recording no-op sleep so backoff schedules can be asserted without
+// slowing the suite down.
+func WithSleep(sleep func(time.Duration)) Option {
+	return func(e *Engine) { e.sleep = sleep }
+}
+
 // WithConcurrency sets the program worker pool size of new instances.
 // With n <= 1 (the default), navigation is fully sequential and
 // deterministic — recovered instances reproduce the identical audit
@@ -123,6 +135,7 @@ func New(opts ...Option) *Engine {
 		programs:  map[string]Program{NOPName: NOP},
 		processes: make(map[string]*model.Process),
 		clock:     func() int64 { return time.Now().Unix() },
+		sleep:     time.Sleep,
 	}
 	for _, o := range opts {
 		o(e)
@@ -251,32 +264,28 @@ type InstanceInfo struct {
 	Process string
 	// Status: "created" (not started), "running" (started, waiting on
 	// manual work or mid-navigation), "finished", or "failed".
-	Status      string
+	Status string
+	// Cause is the failure cause message for "failed" instances, "".
+	// otherwise.
+	Cause       string
 	PendingWork int
 }
 
 // Instances returns a monitoring snapshot of every instance created by
-// this engine, in creation order. Instances are single-goroutine objects;
-// call this from the goroutine that drives them (or once they are
-// settled).
+// this engine, in creation order. It is safe to call from any goroutine,
+// including while instances are being driven concurrently — instance
+// status is read under the per-instance status lock.
 func (e *Engine) Instances() []InstanceInfo {
 	e.instMu.Lock()
 	insts := append([]*Instance(nil), e.instances...)
 	e.instMu.Unlock()
 	out := make([]InstanceInfo, 0, len(insts))
 	for _, inst := range insts {
-		info := InstanceInfo{ID: inst.id, Process: inst.proc.Name, PendingWork: inst.pendingManual}
-		switch {
-		case inst.err != nil:
-			info.Status = "failed"
-		case inst.done:
-			info.Status = "finished"
-		case inst.started:
-			info.Status = "running"
-		default:
-			info.Status = "created"
-		}
-		out = append(out, info)
+		status, cause := inst.StatusInfo()
+		out = append(out, InstanceInfo{
+			ID: inst.id, Process: inst.proc.Name,
+			Status: status, Cause: cause, PendingWork: inst.PendingWork(),
+		})
 	}
 	return out
 }

@@ -19,6 +19,7 @@ const (
 	EvWorkSelected
 	EvForced   // a user forced the activity to finish without running it
 	EvCanceled // the instance was canceled by a user
+	EvFailed   // a program activity failed fatally; Cause records why
 	EvDone
 )
 
@@ -49,6 +50,8 @@ func (k EventKind) String() string {
 		return "forced"
 	case EvCanceled:
 		return "canceled"
+	case EvFailed:
+		return "failed"
 	case EvDone:
 		return "done"
 	default:
@@ -68,6 +71,7 @@ type Event struct {
 	From    string // connector source (EvConnector)
 	To      string // connector target (EvConnector)
 	Value   bool   // connector truth value (EvConnector)
+	Cause   string // failure cause message (EvFailed)
 	// At is the engine clock (seconds) when the event was recorded; with
 	// the default clock it is wall time, tests inject logical clocks. The
 	// accounting package derives activity and instance durations from it.
@@ -81,6 +85,8 @@ func (ev Event) String() string {
 		return fmt.Sprintf("connector %s -> %s = %v", ev.From, ev.To, ev.Value)
 	case EvFinished:
 		return fmt.Sprintf("finished %s#%d rc=%d", ev.Path, ev.Iter, ev.RC)
+	case EvFailed:
+		return fmt.Sprintf("failed %s#%d: %s", ev.Path, ev.Iter, ev.Cause)
 	case EvCreated, EvDone:
 		return ev.Kind.String()
 	default:

@@ -3,7 +3,10 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/model"
@@ -100,6 +103,11 @@ type Instance struct {
 	// path -> iter -> output snapshot.
 	replay map[string]map[int]map[string]expr.Value
 
+	// stMu guards the status fields below for cross-goroutine monitors
+	// (Engine.Instances, Err, Finished, PendingWork). All writes happen on
+	// the navigator goroutine, which may therefore read them directly; any
+	// other goroutine must go through the locked accessors.
+	stMu          sync.Mutex
 	started       bool
 	done          bool
 	err           error
@@ -165,12 +173,51 @@ func (inst *Instance) ID() string { return inst.id }
 func (inst *Instance) ProcessName() string { return inst.proc.Name }
 
 // Finished reports whether every activity has terminated and the process
-// output is final.
-func (inst *Instance) Finished() bool { return inst.done }
+// output is final. Safe for concurrent use.
+func (inst *Instance) Finished() bool {
+	inst.stMu.Lock()
+	defer inst.stMu.Unlock()
+	return inst.done
+}
 
 // Err returns the instance's failure, if any (including wal.ErrCrash when a
-// crash was injected).
-func (inst *Instance) Err() error { return inst.err }
+// crash was injected). For a program activity that failed fatally the error
+// is an *ActivityFailure carrying the path, program, attempt count and
+// cause. Safe for concurrent use.
+func (inst *Instance) Err() error {
+	inst.stMu.Lock()
+	defer inst.stMu.Unlock()
+	return inst.err
+}
+
+// Failure returns the activity failure that stopped the instance, or nil
+// when the instance did not fail or failed for a non-activity reason (e.g.
+// a WAL error). Safe for concurrent use.
+func (inst *Instance) Failure() *ActivityFailure {
+	var af *ActivityFailure
+	if errors.As(inst.Err(), &af) {
+		return af
+	}
+	return nil
+}
+
+// StatusInfo returns the monitoring status ("created", "running",
+// "finished" or "failed") and, for failed instances, the recorded cause
+// message. Safe for concurrent use.
+func (inst *Instance) StatusInfo() (status, cause string) {
+	inst.stMu.Lock()
+	defer inst.stMu.Unlock()
+	switch {
+	case inst.err != nil:
+		return "failed", inst.err.Error()
+	case inst.done:
+		return "finished", ""
+	case inst.started:
+		return "running", ""
+	default:
+		return "created", ""
+	}
+}
 
 // Output returns a copy of the process output container; call it after
 // Finished reports true.
@@ -180,7 +227,12 @@ func (inst *Instance) Output() *model.Container { return inst.root.output.Clone(
 func (inst *Instance) Trail() []Event { return append([]Event(nil), inst.trail...) }
 
 // PendingWork reports how many manual activities are waiting on worklists.
-func (inst *Instance) PendingWork() int { return inst.pendingManual }
+// Safe for concurrent use.
+func (inst *Instance) PendingWork() int {
+	inst.stMu.Lock()
+	defer inst.stMu.Unlock()
+	return inst.pendingManual
+}
 
 // ProgramRun summarizes one completed program-activity execution, in
 // completion order — the observable history the transaction-model
@@ -249,7 +301,7 @@ func (inst *Instance) Start() error {
 	if inst.started {
 		return errors.New("engine: instance already started")
 	}
-	inst.started = true
+	inst.markStarted()
 	inst.appendLog(wal.Record{
 		Type: wal.RecCreated, Instance: inst.id, Process: inst.proc.Name,
 		Values: inst.root.input.Snapshot(),
@@ -282,7 +334,7 @@ func (inst *Instance) SelectWork(person string, itemID int64) error {
 	if !ok || as.state != StateReady {
 		return fmt.Errorf("engine: work item %d targets activity %q in state %v", itemID, item.Activity, as.state)
 	}
-	inst.pendingManual--
+	inst.addPending(-1)
 	inst.event(Event{Kind: EvWorkSelected, Path: as.path(), Iter: as.iter})
 	inst.enqueue(as)
 	inst.pump()
@@ -310,7 +362,7 @@ func (inst *Instance) ForceFinish(path string, rc int64) error {
 	if err := inst.eng.worklists.Withdraw(as.workID); err != nil {
 		return err
 	}
-	inst.pendingManual--
+	inst.addPending(-1)
 	inst.event(Event{Kind: EvForced, Path: path, Iter: as.iter, RC: rc})
 	out, err := as.sc.types.NewContainer(as.act.Out())
 	if err != nil {
@@ -349,7 +401,7 @@ func (inst *Instance) Cancel() error {
 		}
 		if as.state == StateReady && as.act.Start == model.StartManual && as.workID != 0 {
 			if err := inst.eng.worklists.Withdraw(as.workID); err == nil {
-				inst.pendingManual--
+				inst.addPending(-1)
 			}
 		}
 		as.state = StateTerminated
@@ -361,15 +413,46 @@ func (inst *Instance) Cancel() error {
 	if inst.err != nil {
 		return inst.err
 	}
-	inst.done = true
+	inst.markDone()
 	inst.event(Event{Kind: EvDone})
 	return nil
 }
 
 func (inst *Instance) fail(err error) {
+	inst.stMu.Lock()
 	if inst.err == nil {
 		inst.err = err
 	}
+	inst.stMu.Unlock()
+}
+
+// failActivity records a fatal program-activity failure: the cause goes to
+// the audit trail (EvFailed) and becomes the instance error, degrading the
+// instance to the "failed" monitoring status. Navigation stops but the
+// engine and its other instances are unaffected.
+func (inst *Instance) failActivity(af *ActivityFailure) {
+	inst.event(Event{Kind: EvFailed, Path: af.Path, Iter: af.Iter, Program: af.Program, Cause: af.Cause.Error()})
+	inst.fail(af)
+}
+
+// markStarted / markDone / addPending update monitor-visible status under
+// the status lock; they are only called from the navigator goroutine.
+func (inst *Instance) markStarted() {
+	inst.stMu.Lock()
+	inst.started = true
+	inst.stMu.Unlock()
+}
+
+func (inst *Instance) markDone() {
+	inst.stMu.Lock()
+	inst.done = true
+	inst.stMu.Unlock()
+}
+
+func (inst *Instance) addPending(d int) {
+	inst.stMu.Lock()
+	inst.pendingManual += d
+	inst.stMu.Unlock()
 }
 
 func (inst *Instance) appendLog(rec wal.Record) {
@@ -421,7 +504,12 @@ func (inst *Instance) pump() {
 			continue
 		}
 		if c.err != nil {
-			inst.fail(c.err)
+			var af *ActivityFailure
+			if errors.As(c.err, &af) {
+				inst.failActivity(af)
+			} else {
+				inst.fail(c.err)
+			}
 			continue
 		}
 		inst.finishActivity(c.as, c.out)
@@ -466,7 +554,7 @@ func (inst *Instance) postWork(as *actState) {
 		return
 	}
 	as.workID = item.ID
-	inst.pendingManual++
+	inst.addPending(1)
 	inst.event(Event{Kind: EvWorkPosted, Path: as.path(), Iter: as.iter})
 }
 
@@ -519,39 +607,112 @@ func (inst *Instance) runProgram(as *actState) {
 	if inst.err != nil {
 		return
 	}
-	out, err := as.sc.types.NewContainer(as.act.Out())
-	if err != nil {
-		inst.fail(err)
-		return
-	}
 	inst.appendLog(wal.Record{
 		Type: wal.RecStartedActivity, Instance: inst.id, Path: as.path(), Iter: as.iter,
 	})
 	if inst.err != nil {
 		return
 	}
-	inv := &Invocation{InstanceID: inst.id, Path: as.path(), Iter: as.iter, In: in, Out: out}
 	if inst.concurrency > 1 {
 		// Concurrent mode: run the program body on the worker pool; the
-		// completion is folded back into navigation by pump.
+		// completion is folded back into navigation by pump. The attempt
+		// loop only touches state that is immutable while the activity
+		// runs, so it is safe on the worker goroutine.
 		inst.inflight++
 		pool := inst.pool
 		go func() {
 			pool <- struct{}{}
-			err := prog.Run(inv)
+			out, err := inst.executeAttempts(prog, as, in)
 			<-pool
-			if err != nil {
-				err = fmt.Errorf("engine: program %q at %s: %w", as.act.Program, inv.Path, err)
-			}
 			inst.completions <- completion{as: as, out: out, err: err}
 		}()
 		return
 	}
-	if err := prog.Run(inv); err != nil {
-		inst.fail(fmt.Errorf("engine: program %q at %s: %w", as.act.Program, as.path(), err))
+	final, err := inst.executeAttempts(prog, as, in)
+	if err != nil {
+		var af *ActivityFailure
+		if errors.As(err, &af) {
+			inst.failActivity(af)
+		} else {
+			inst.fail(err)
+		}
 		return
 	}
-	inst.finishActivity(as, out)
+	inst.finishActivity(as, final)
+}
+
+// executeAttempts drives the fault-tolerant invocation of one program
+// activity: each attempt runs with panic isolation and the activity's
+// optional deadline against a fresh output container (a failed attempt
+// must not leak partial output into the next one); transient errors are
+// retried under the activity's RetryPolicy with exponential backoff, and
+// the final error is an *ActivityFailure recording the cause. It is called
+// on the navigator goroutine in sequential mode and on a worker goroutine
+// in concurrent mode — everything it touches is immutable while the
+// activity is running.
+func (inst *Instance) executeAttempts(prog Program, as *actState, in *model.Container) (*model.Container, error) {
+	budget := as.act.Retry.Attempts()
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= budget; attempt++ {
+		out, err := as.sc.types.NewContainer(as.act.Out())
+		if err != nil {
+			return nil, err // infrastructure failure, not a program fault
+		}
+		inv := &Invocation{
+			InstanceID: inst.id, Path: as.path(), Iter: as.iter,
+			In: in, Out: out, Attempt: attempt,
+		}
+		attempts = attempt
+		if err := invokeGuarded(prog, inv, as.act.DeadlineMS); err == nil {
+			return out, nil
+		} else {
+			lastErr = err
+		}
+		if !IsTransient(lastErr) || attempt == budget {
+			break
+		}
+		if rp := as.act.Retry; rp != nil && rp.BackoffMS > 0 {
+			inst.eng.sleep(time.Duration(rp.BackoffMS<<(attempt-1)) * time.Millisecond)
+		}
+	}
+	return nil, &ActivityFailure{
+		Path: as.path(), Program: as.act.Program, Iter: as.iter,
+		Attempts: attempts, Cause: lastErr,
+	}
+}
+
+// invokeGuarded runs one invocation attempt with panic isolation and an
+// optional wall-clock deadline. A panic inside the program becomes a
+// *PanicError (fatal); a missed deadline becomes ErrDeadlineExceeded
+// (transient). When the deadline fires, the runaway invocation keeps
+// executing on its abandoned goroutine against an output container the
+// engine will never read again — the documented cost of preempting
+// programs that cannot be cancelled.
+func invokeGuarded(prog Program, inv *Invocation, deadlineMS int64) error {
+	if deadlineMS <= 0 {
+		return runIsolated(prog, inv)
+	}
+	done := make(chan error, 1)
+	go func() { done <- runIsolated(prog, inv) }()
+	timer := time.NewTimer(time.Duration(deadlineMS) * time.Millisecond)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return ErrDeadlineExceeded
+	}
+}
+
+// runIsolated confines a program panic to the invocation that caused it.
+func runIsolated(prog Program, inv *Invocation) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return prog.Run(inv)
 }
 
 func (inst *Instance) runSubprocess(as *actState) {
@@ -756,7 +917,7 @@ func (inst *Instance) scopeDone(sc *scope) {
 		if inst.err != nil {
 			return
 		}
-		inst.done = true
+		inst.markDone()
 		inst.event(Event{Kind: EvDone})
 		return
 	}

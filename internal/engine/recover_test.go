@@ -264,6 +264,52 @@ func TestRecoveryThroughFileLog(t *testing.T) {
 	}
 }
 
+// TestRecoveryAfterTornTail crashes the instance mid-append through a
+// short-writing FaultLog, repairs the torn file (truncate-and-resume), and
+// recovers from the surviving prefix: the crash-free trail and output must
+// be reproduced exactly.
+func TestRecoveryAfterTornTail(t *testing.T) {
+	want := baselineTrail(t)
+	path := t.TempDir() + "/torn.wal"
+
+	e, _ := newRecoveryEngine(t)
+	flog, err := wal.OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := wal.NewFaultLog(flog, 5, true) // torn 6th record lands on disk
+	inst, err := e.CreateInstance("Rec", nil, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); !errors.Is(err, wal.ErrCrash) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if err := flog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	records, truncated, err := wal.RepairFile(path)
+	if err != nil || len(records) != 5 || truncated == 0 {
+		t.Fatalf("repair: %d records, %d truncated, %v", len(records), truncated, err)
+	}
+	e2, _ := newRecoveryEngine(t)
+	rec, err := Recover(e2, records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Finished() {
+		t.Fatal("not finished")
+	}
+	got := trailStrings(rec)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("trail after torn-tail recovery:\ngot:  %v\nwant: %v", got, want)
+	}
+	if rec.Output().MustGet("State_1").AsInt() != 0 {
+		t.Error("recovered output wrong")
+	}
+}
+
 // TestRecoveryFromCompactedLog: compaction must not change what recovery
 // reconstructs.
 func TestRecoveryFromCompactedLog(t *testing.T) {

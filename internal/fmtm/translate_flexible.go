@@ -206,6 +206,7 @@ func (tr *flexTranslator) materialize(el *felement) error {
 		a := &model.Activity{Name: el.name, Kind: model.KindProgram, Program: n.Sub}
 		if sub.Retriable {
 			a.Exit = expr.MustParse("RC = 0") // rule 4
+			a.Retry = retriableRetry
 		}
 		tr.p.Activities = append(tr.p.Activities, a)
 		tr.addResultMapping(el)
@@ -232,6 +233,7 @@ func (tr *flexTranslator) materialize(el *felement) error {
 		a := &model.Activity{Name: node.Sub, Kind: model.KindProgram, Program: node.Sub}
 		if tr.spec.Sub(node.Sub).Retriable {
 			a.Exit = expr.MustParse("RC = 0")
+			a.Retry = retriableRetry
 		}
 		fwd.Activities = append(fwd.Activities, a)
 		fwd.Data = append(fwd.Data, &model.DataConnector{
@@ -258,8 +260,9 @@ func (tr *flexTranslator) materialize(el *felement) error {
 		compensation := tr.spec.Sub(node.Sub).Compensation
 		comp.Activities = append(comp.Activities, &model.Activity{
 			Name: compensation, Kind: model.KindProgram, Program: compensation,
-			Exit: expr.MustParse("RC = 0"),
-			Join: model.JoinOr,
+			Exit:  expr.MustParse("RC = 0"),
+			Retry: retriableRetry,
+			Join:  model.JoinOr,
 		})
 		cond := fmt.Sprintf("%s = 0", stateMember(i+1))
 		if i+1 < m {

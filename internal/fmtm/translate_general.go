@@ -86,8 +86,9 @@ func TranslateGeneralSaga(spec *saga.GeneralSpec, opts SagaOptions) (*model.Proc
 	for _, st := range spec.Steps {
 		comp.Activities = append(comp.Activities, &model.Activity{
 			Name: st.Compensation, Kind: model.KindProgram, Program: st.Compensation,
-			Exit: expr.MustParse("RC = 0"),
-			Join: model.JoinOr,
+			Exit:  expr.MustParse("RC = 0"),
+			Retry: retriableRetry,
+			Join:  model.JoinOr,
 		})
 		// NOP fires this compensation when the step committed and none of
 		// its dependents did (it is a maximal committed step).

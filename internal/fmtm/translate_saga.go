@@ -99,8 +99,9 @@ func TranslateSaga(spec *saga.Spec, opts SagaOptions) (*model.Process, error) {
 	for i, st := range spec.Steps {
 		comp.Activities = append(comp.Activities, &model.Activity{
 			Name: st.Compensation, Kind: model.KindProgram, Program: st.Compensation,
-			Exit: expr.MustParse("RC = 0"), // compensations are retriable
-			Join: model.JoinOr,
+			Exit:  expr.MustParse("RC = 0"), // compensations are retriable
+			Retry: retriableRetry,
+			Join:  model.JoinOr,
 		})
 		// The NOP fires the compensation of the last executed step: step i
 		// committed but step i+1 did not run or aborted.
@@ -140,6 +141,15 @@ func TranslateSaga(spec *saga.Spec, opts SagaOptions) (*model.Process, error) {
 }
 
 func stateMember(i int) string { return fmt.Sprintf("State_%d", i) }
+
+// retriableRetry is attached to every activity whose subtransaction is
+// retriable — including compensations, which are retriable by definition.
+// The "RC = 0" exit condition already re-runs transactional aborts; this
+// policy additionally re-invokes the program on transient infrastructure
+// failures (deadline misses, engine.Transient errors) before the instance
+// is failed. No backoff: generated processes stay fast under test, and a
+// caller needing paced retries can override Retry on the built model.
+var retriableRetry = &model.RetryPolicy{MaxAttempts: 3}
 
 func stateMaps(n int) []model.DataMap {
 	maps := make([]model.DataMap, n)

@@ -71,6 +71,33 @@ func (m StartMode) String() string {
 	return "AUTOMATIC"
 }
 
+// RetryPolicy bounds the engine-level re-execution of a program activity
+// whose program reports a *transient* infrastructure failure (see
+// engine.Transient). It is the workflow-layer analogue of the bounded
+// retry semantics that Lanese's static/dynamic SAGAs give retriable
+// subtransactions: the engine re-invokes the program up to MaxAttempts
+// times, sleeping BackoffMS * 2^(attempt-1) milliseconds between attempts.
+// Transactional aborts (RC != 0) are not errors and are never retried by
+// this policy — they are handled by exit conditions and the compensation
+// machinery of §4.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values below 2 mean no retry.
+	MaxAttempts int
+	// BackoffMS is the base delay in milliseconds before the second
+	// attempt; it doubles for every further attempt. Zero means retry
+	// immediately.
+	BackoffMS int64
+}
+
+// Attempts returns the effective attempt budget (at least 1).
+func (r *RetryPolicy) Attempts() int {
+	if r == nil || r.MaxAttempts < 2 {
+		return 1
+	}
+	return r.MaxAttempts
+}
+
 // Staff assigns the people responsible for an activity (§3.3): either a
 // role (all persons holding it are eligible) or a specific person. Empty
 // Staff means the activity is fully automatic with no user mapping.
@@ -107,6 +134,15 @@ type Activity struct {
 	// when the activity finishes; false reschedules the activity (loop).
 	// nil means TRUE (terminate immediately on finish).
 	Exit expr.Node
+
+	// Retry bounds engine-level re-execution on transient program errors
+	// (program activities only); nil means a single attempt.
+	Retry *RetryPolicy
+	// DeadlineMS is the per-invocation wall-clock deadline in milliseconds
+	// for the activity's program; an invocation that does not return in
+	// time fails with engine.ErrDeadlineExceeded (and is retried if the
+	// retry policy allows). Zero disables the deadline.
+	DeadlineMS int64
 
 	Start StartMode
 	Staff Staff

@@ -122,6 +122,20 @@ func (v *validator) checkGraph(g *Graph, scope string) {
 		if a.NotifySeconds < 0 {
 			v.errf("%s: negative notification deadline", where)
 		}
+		if a.Retry != nil {
+			if a.Kind != KindProgram {
+				v.errf("%s: retry policy on a non-program activity", where)
+			}
+			if a.Retry.MaxAttempts < 0 || a.Retry.BackoffMS < 0 {
+				v.errf("%s: retry policy fields must be non-negative", where)
+			}
+		}
+		if a.DeadlineMS < 0 {
+			v.errf("%s: negative program deadline", where)
+		}
+		if a.DeadlineMS > 0 && a.Kind != KindProgram {
+			v.errf("%s: program deadline on a non-program activity", where)
+		}
 		if a.NotifySeconds > 0 && a.NotifyRole == "" {
 			v.errf("%s: notification deadline without a role to notify", where)
 		}

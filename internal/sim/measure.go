@@ -258,7 +258,7 @@ func RunB5() *Report {
 	r := &Report{
 		ID:      "B5",
 		Title:   "forward recovery: replay time vs. log length",
-		Columns: []string{"chain length", "log records", "recover ns/op", "ns/record"},
+		Columns: []string{"chain length", "log records", "recover ns/op", "ns/record", "records/sec"},
 		Pass:    true,
 	}
 	for _, n := range []int{100, 1000, 10000} {
@@ -282,7 +282,9 @@ func RunB5() *Report {
 				panic(err)
 			}
 		})
-		r.AddRow(strconv.Itoa(n), strconv.Itoa(len(records)), fmtNs(recNs), fmt.Sprintf("%.0f", recNs/float64(len(records))))
+		r.AddRow(strconv.Itoa(n), strconv.Itoa(len(records)), fmtNs(recNs),
+			fmt.Sprintf("%.0f", recNs/float64(len(records))),
+			fmt.Sprintf("%.0f", float64(len(records))/(recNs/1e9)))
 	}
 	return r
 }

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/atm/saga"
+	"repro/internal/engine"
+	"repro/internal/fmtm"
+	"repro/internal/rm"
+	"repro/internal/wal"
+)
+
+// TravelSaga is the running example of the paper's §4.1: book a flight, a
+// hotel and a car, with a cancellation compensating each booking.
+func TravelSaga() *saga.Spec {
+	return &saga.Spec{
+		Name: "travel",
+		Steps: []saga.Step{
+			{Name: "book_flight", Compensation: "cancel_flight"},
+			{Name: "book_hotel", Compensation: "cancel_hotel"},
+			{Name: "book_car", Compensation: "cancel_car"},
+		},
+	}
+}
+
+// RunE7 is the crash-point soak for the file-backed WAL: run the travel
+// saga and the Figure 3 flexible transaction to completion over a real
+// FileLog, then re-run each workload with a FaultLog that kills the server
+// at every record boundary — both as a clean crash (the record never
+// reaches the file) and as a short write (a torn half-record lands on
+// disk). Each crashed log is repaired with RepairFile (truncate-and-resume)
+// and recovered; the soak passes only if every recovery reproduces the
+// baseline's audit trail and a bit-identical final output container.
+func RunE7() *Report {
+	r := &Report{
+		ID:      "E7",
+		Title:   "WAL soak: crash + short-write at every file-log record boundary, repair, identical outcome",
+		Columns: []string{"workload", "mode", "log records", "crash points", "torn tails repaired", "recovered ok"},
+		Pass:    true,
+	}
+	type workload struct {
+		name string
+		mk   func() (*engine.Engine, string)
+	}
+	mkTravel := func() (*engine.Engine, string) {
+		spec := TravelSaga()
+		e := engine.New()
+		if err := fmtm.RegisterRuntime(e); err != nil {
+			panic(err)
+		}
+		inj := rm.NewInjector()
+		inj.AbortAlways("book_car") // forces the compensation path
+		if err := fmtm.RegisterSaga(e, spec, fmtm.PureSagaBinding(spec), inj, &rm.Recorder{}); err != nil {
+			panic(err)
+		}
+		p, err := fmtm.TranslateSaga(spec, fmtm.SagaOptions{})
+		if err != nil {
+			panic(err)
+		}
+		if err := e.RegisterProcess(p); err != nil {
+			panic(err)
+		}
+		return e, spec.Name
+	}
+	mkFlexible := func() (*engine.Engine, string) {
+		spec := Fig3Flexible()
+		e := engine.New()
+		if err := fmtm.RegisterRuntime(e); err != nil {
+			panic(err)
+		}
+		inj := rm.NewInjector()
+		inj.AbortAlways("T6") // C5 compensates, alternate path via T7
+		if err := fmtm.RegisterFlexible(e, spec, fmtm.PureFlexibleBinding(spec), inj, &rm.Recorder{}); err != nil {
+			panic(err)
+		}
+		p, err := fmtm.TranslateFlexible(spec)
+		if err != nil {
+			panic(err)
+		}
+		if err := e.RegisterProcess(p); err != nil {
+			panic(err)
+		}
+		return e, spec.Name
+	}
+
+	dir, err := os.MkdirTemp("", "wal-soak")
+	if err != nil {
+		r.Pass = false
+		r.Err = err
+		return r
+	}
+	defer os.RemoveAll(dir)
+
+	for _, w := range []workload{{"travel saga abort@book_car", mkTravel}, {"flexible Fig.3 abort@T6", mkFlexible}} {
+		path := filepath.Join(dir, "soak.wal")
+
+		// Baseline run over a durable (fsync-on-append) file log.
+		flog, err := wal.OpenFileLog(path, wal.WithFsync())
+		if err != nil {
+			r.Pass = false
+			r.Err = err
+			return r
+		}
+		e, proc := w.mk()
+		base, err := e.CreateInstance(proc, nil, flog)
+		if err == nil {
+			err = base.Start()
+		}
+		if cerr := flog.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil || !base.Finished() {
+			r.Pass = false
+			r.Err = fmt.Errorf("E7 %s baseline: %v", w.name, err)
+			return r
+		}
+		baseTrail := fmt.Sprint(trailStrings(base))
+		records, err := wal.ReadFile(path) // strict read: every CRC must verify
+		if err != nil {
+			r.Pass = false
+			r.Err = fmt.Errorf("E7 %s baseline read-back: %v", w.name, err)
+			return r
+		}
+		total := len(records)
+
+		for _, mode := range []struct {
+			name       string
+			shortWrite bool
+		}{{"clean crash", false}, {"short write", true}} {
+			okAll := true
+			repaired := 0
+			for crashAt := 1; crashAt < total; crashAt++ {
+				flog, err := wal.OpenFileLog(path)
+				if err != nil {
+					okAll = false
+					break
+				}
+				fl := wal.NewFaultLog(flog, crashAt, mode.shortWrite)
+				e2, proc2 := w.mk()
+				inst, err := e2.CreateInstance(proc2, nil, fl)
+				if err != nil {
+					okAll = false
+					break
+				}
+				if err := inst.Start(); !errors.Is(err, wal.ErrCrash) {
+					okAll = false
+					break
+				}
+				if err := flog.Close(); err != nil {
+					okAll = false
+					break
+				}
+				recs, dropped, err := wal.RepairFile(path)
+				if err != nil || len(recs) != crashAt {
+					okAll = false
+					break
+				}
+				if mode.shortWrite && dropped == 0 {
+					okAll = false // the torn tail must have been detected
+					break
+				}
+				if dropped > 0 {
+					repaired++
+					// The repaired file must now read back clean.
+					if again, err := wal.ReadFile(path); err != nil || len(again) != crashAt {
+						okAll = false
+						break
+					}
+				}
+				e3, _ := w.mk()
+				rec, err := engine.Recover(e3, recs, nil)
+				if err != nil || !rec.Finished() {
+					okAll = false
+					break
+				}
+				if fmt.Sprint(trailStrings(rec)) != baseTrail || !rec.Output().Equal(base.Output()) {
+					okAll = false
+					break
+				}
+			}
+			if !okAll {
+				r.Pass = false
+			}
+			verdict := "yes"
+			if !okAll {
+				verdict = "NO"
+			}
+			r.AddRow(w.name, mode.name, fmt.Sprint(total), fmt.Sprint(total-1), fmt.Sprint(repaired), verdict)
+		}
+	}
+	return r
+}

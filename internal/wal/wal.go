@@ -10,14 +10,35 @@
 // activities.
 //
 // Two log implementations are provided: an in-memory log with optional
-// crash injection (for recovery tests) and a file-backed JSON-lines log.
+// crash injection (for recovery tests) and a file-backed log.
+//
+// # Durability
+//
+// FileLog frames every record as "crc8hex json\n": a CRC-32C checksum over
+// the JSON body detects torn writes and bit rot on replay. Appends are
+// buffered; with the WithFsync option every Append flushes the buffer and
+// calls File.Sync, so a record handed back to the engine is on stable
+// storage before navigation proceeds (the classic WAL contract — slower,
+// but a kernel or power failure can lose at most the record being
+// written). Without fsync a crash can lose the buffered tail; either way
+// Close flushes and syncs. Recovery reads with ReadFileTolerant or
+// RepairFile tolerate a torn or corrupt *final* record — the signature a
+// crash mid-append leaves behind — by truncating to the valid prefix;
+// corruption in the middle of the log (valid records after a bad line) is
+// reported as an error because it means lost history, not a torn tail.
+// FaultLog injects crashes and short writes at scripted record boundaries
+// so the whole story is testable (see the crash-point soak experiment E7
+// in internal/sim).
 package wal
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strconv"
@@ -114,21 +135,77 @@ func cloneRecord(r Record) Record {
 	return r
 }
 
-// FileLog appends JSON-line records to a file. It is safe for concurrent
-// use. Close flushes buffered data.
+// crcTable is the CRC-32C (Castagnoli) table used to frame file records.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameLine prefixes a marshaled record with its 8-hex-digit CRC-32C:
+// "crc8hex json". The checksum covers the JSON body only.
+func frameLine(body []byte) []byte {
+	out := make([]byte, 0, len(body)+9)
+	var crc [4]byte
+	sum := crc32.Checksum(body, crcTable)
+	crc[0] = byte(sum >> 24)
+	crc[1] = byte(sum >> 16)
+	crc[2] = byte(sum >> 8)
+	crc[3] = byte(sum)
+	out = append(out, []byte(hex.EncodeToString(crc[:]))...)
+	out = append(out, ' ')
+	return append(out, body...)
+}
+
+// parseLine decodes one log line. Framed lines ("crc8hex json") are
+// checksum-verified; legacy plain-JSON lines (first byte '{') are accepted
+// unverified so pre-checksum logs stay readable.
+func parseLine(line []byte) (Record, error) {
+	if len(line) > 0 && line[0] == '{' {
+		return Unmarshal(line)
+	}
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, errors.New("wal: malformed record frame")
+	}
+	var crc [4]byte
+	if _, err := hex.Decode(crc[:], line[:8]); err != nil {
+		return Record{}, errors.New("wal: malformed record checksum")
+	}
+	body := line[9:]
+	want := uint32(crc[0])<<24 | uint32(crc[1])<<16 | uint32(crc[2])<<8 | uint32(crc[3])
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return Record{}, fmt.Errorf("wal: record checksum mismatch (want %08x, got %08x)", want, got)
+	}
+	return Unmarshal(body)
+}
+
+// FileLog appends CRC-framed JSON-line records to a file. It is safe for
+// concurrent use. Close flushes buffered data and syncs the file.
 type FileLog struct {
-	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	fsync bool
+}
+
+// FileOption configures a FileLog.
+type FileOption func(*FileLog)
+
+// WithFsync makes every Append flush the write buffer and fsync the file,
+// so each record is on stable storage before the engine navigates past it.
+// Durable and slow; without it a crash can lose the buffered tail of the
+// log (recovery then resumes from a shorter—but still consistent—prefix).
+func WithFsync() FileOption {
+	return func(l *FileLog) { l.fsync = true }
 }
 
 // OpenFileLog creates (or truncates) a file-backed log.
-func OpenFileLog(path string) (*FileLog, error) {
+func OpenFileLog(path string, opts ...FileOption) (*FileLog, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return &FileLog{f: f, w: bufio.NewWriter(f)}, nil
+	l := &FileLog{f: f, w: bufio.NewWriter(f)}
+	for _, o := range opts {
+		o(l)
+	}
+	return l, nil
 }
 
 // Append implements Log.
@@ -139,16 +216,38 @@ func (l *FileLog) Append(rec Record) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := l.w.Write(b); err != nil {
+	if _, err := l.w.Write(frameLine(b)); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := l.w.WriteByte('\n'); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	if l.fsync {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
 	return nil
 }
 
-// Close flushes and closes the underlying file.
+// writeRaw writes bytes to the file without framing or a trailing newline;
+// FaultLog uses it to plant torn records.
+func (l *FileLog) writeRaw(b []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(b); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Close flushes buffered records, syncs, and closes the underlying file.
 func (l *FileLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -156,7 +255,58 @@ func (l *FileLog) Close() error {
 		l.f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
 	return l.f.Close()
+}
+
+// FaultLog wraps a FileLog and injects a crash at a scripted record
+// boundary, mirroring MemLog.CrashAfter for on-disk logs: the first
+// CrashAfter appends succeed, every later Append returns ErrCrash. With
+// ShortWrite the crashing append first writes a torn prefix of the framed
+// record (no newline) to the file — the on-disk signature of a process
+// dying mid-write — which tolerant recovery must discard.
+type FaultLog struct {
+	mu         sync.Mutex
+	inner      *FileLog
+	crashAfter int
+	shortWrite bool
+	appended   int
+	crashed    bool
+}
+
+// NewFaultLog wraps inner. crashAfter <= 0 never crashes.
+func NewFaultLog(inner *FileLog, crashAfter int, shortWrite bool) *FaultLog {
+	return &FaultLog{inner: inner, crashAfter: crashAfter, shortWrite: shortWrite}
+}
+
+// Append implements Log.
+func (l *FaultLog) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrash
+	}
+	if l.crashAfter > 0 && l.appended >= l.crashAfter {
+		l.crashed = true
+		if l.shortWrite {
+			if b, err := Marshal(rec); err == nil {
+				line := frameLine(b)
+				// Half a record, mid-body: enough bytes that the frame
+				// header is intact but the checksum cannot match.
+				n := len(line)/2 + 10
+				if n >= len(line) {
+					n = len(line) - 1
+				}
+				l.inner.writeRaw(line[:n])
+			}
+		}
+		return ErrCrash
+	}
+	l.appended++
+	return l.inner.Append(rec)
 }
 
 // jsonValue is the wire form of an expr.Value. Integers travel as strings
@@ -254,7 +404,10 @@ func decodeValue(jv jsonValue) (expr.Value, error) {
 	}
 }
 
-// ReadAll decodes a JSON-lines log stream, e.g. a file written by FileLog.
+// ReadAll strictly decodes a log stream written by FileLog (CRC-framed
+// lines; legacy plain-JSON lines are also accepted). Any undecodable or
+// checksum-failing line is an error — use ReadAllTolerant to accept a log
+// with a torn tail.
 func ReadAll(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -265,7 +418,7 @@ func ReadAll(r io.Reader) ([]Record, error) {
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		rec, err := Unmarshal(sc.Bytes())
+		rec, err := parseLine(sc.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("wal: line %d: %w", line, err)
 		}
@@ -277,7 +430,7 @@ func ReadAll(r io.Reader) ([]Record, error) {
 	return out, nil
 }
 
-// ReadFile reads a file-backed log from disk.
+// ReadFile reads a file-backed log from disk (strict; see ReadAll).
 func ReadFile(path string) ([]Record, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -285,6 +438,99 @@ func ReadFile(path string) ([]Record, error) {
 	}
 	defer f.Close()
 	return ReadAll(f)
+}
+
+// scanTolerant walks raw log bytes and returns the records of the valid
+// prefix, the byte length of that prefix, and how many trailing bytes were
+// dropped as a torn tail. Only the final record may be corrupt (torn write
+// or checksum mismatch at the very end of the log — what a crash
+// mid-append leaves behind); a bad line followed by any further non-empty
+// line is mid-log corruption and is returned as an error, because history
+// after the bad record would otherwise be silently lost.
+func scanTolerant(data []byte) (recs []Record, validLen, droppedBytes int, err error) {
+	off := 0
+	lineNo := 0
+	for off < len(data) {
+		end := len(data)
+		next := end
+		if i := bytes.IndexByte(data[off:], '\n'); i >= 0 {
+			end = off + i
+			next = end + 1
+		}
+		line := data[off:end]
+		lineNo++
+		if len(line) == 0 {
+			off = next
+			validLen = off
+			continue
+		}
+		rec, perr := parseLine(line)
+		if perr != nil {
+			// Tolerated only as the final non-empty line.
+			for rest := next; rest < len(data); {
+				rend := len(data)
+				rnext := rend
+				if i := bytes.IndexByte(data[rest:], '\n'); i >= 0 {
+					rend = rest + i
+					rnext = rend + 1
+				}
+				if rend > rest {
+					return nil, 0, 0, fmt.Errorf("wal: line %d: %w (followed by further records — mid-log corruption)", lineNo, perr)
+				}
+				rest = rnext
+			}
+			return recs, validLen, len(data) - validLen, nil
+		}
+		recs = append(recs, rec)
+		off = next
+		validLen = off
+	}
+	return recs, validLen, 0, nil
+}
+
+// ReadAllTolerant decodes a log stream, tolerating a torn or corrupt final
+// record by dropping it. It returns the surviving records and the number
+// of trailing bytes discarded (0 when the log is clean). Corruption
+// anywhere but the tail is still an error.
+func ReadAllTolerant(r io.Reader) ([]Record, int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	recs, _, dropped, err := scanTolerant(data)
+	return recs, dropped, err
+}
+
+// ReadFileTolerant reads a file-backed log, tolerating a torn tail (see
+// ReadAllTolerant).
+func ReadFileTolerant(path string) ([]Record, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	return ReadAllTolerant(f)
+}
+
+// RepairFile implements truncate-and-resume recovery for a file log: it
+// reads the log tolerantly and, if a torn tail was found, truncates the
+// file to the valid prefix so subsequent appends produce a clean log. It
+// returns the surviving records and the number of bytes truncated.
+func RepairFile(path string) ([]Record, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	recs, validLen, dropped, err := scanTolerant(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if dropped > 0 {
+		if err := os.Truncate(path, int64(validLen)); err != nil {
+			return nil, 0, fmt.Errorf("wal: %w", err)
+		}
+	}
+	return recs, dropped, nil
 }
 
 // Discard is a Log that drops every record; used by benchmarks to measure
