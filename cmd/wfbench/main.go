@@ -7,6 +7,7 @@
 //	wfbench -experiment E2   # one correctness experiment
 //	wfbench -bench B2        # one measurement table
 //	wfbench -experiment none # measurements only
+//	wfbench -json out.json   # also write a machine-readable wfbench/v1 file
 package main
 
 import (
@@ -21,7 +22,13 @@ import (
 func main() {
 	exp := flag.String("experiment", "all", "E1..E7, all, or none")
 	bench := flag.String("bench", "all", "B1..B8, S1, all, or none")
+	jsonOut := flag.String("json", "", "write every report as machine-readable JSON (wfbench/v1) to this file")
 	flag.Parse()
+
+	var bf *sim.BenchFile
+	if *jsonOut != "" {
+		bf = sim.NewBenchFile()
+	}
 
 	experiments := map[string]func() *sim.Report{
 		"E1": sim.RunE1, "E2": sim.RunE2, "E3": sim.RunE3, "E4": sim.RunE4, "E5": sim.RunE5, "E6": sim.RunE6,
@@ -42,6 +49,9 @@ func main() {
 			for _, id := range order {
 				rep := all[id]()
 				fmt.Println(rep)
+				if bf != nil {
+					bf.Add(rep)
+				}
 				if !rep.Pass {
 					failed = true
 				}
@@ -54,6 +64,9 @@ func main() {
 			}
 			rep := f()
 			fmt.Println(rep)
+			if bf != nil {
+				bf.Add(rep)
+			}
 			if !rep.Pass {
 				failed = true
 			}
@@ -61,6 +74,13 @@ func main() {
 	}
 	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"})
 	run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "S1"})
+	if bf != nil {
+		if err := bf.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d reports)\n", *jsonOut, len(bf.Reports))
+	}
 	if failed {
 		os.Exit(1)
 	}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildWfrun compiles the command once per test binary into a temp dir.
+func buildWfrun(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wfrun")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestUsageErrorsExitTwo pins the CLI contract: flag misuse is a usage
+// error (exit 2, message on stderr), not a runtime failure (exit 1).
+// Before PR 2, -fsync/-crash-at without -wal exited 1, so scripts could
+// not tell a mistyped invocation from a genuinely failed run.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	bin := buildWfrun(t)
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"fsync without wal", []string{"-fsync", "x.fdl"}, "-fsync and -crash-at require -wal"},
+		{"crash-at without wal", []string{"-crash-at", "3", "x.fdl"}, "-fsync and -crash-at require -wal"},
+		{"no file argument", []string{}, "usage: wfrun"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// The flag check precedes any file access, so x.fdl need not exist.
+			cmd := exec.Command(bin, c.args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("expected exit error, got %v", err)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Errorf("exit code = %d, want 2\nstderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), c.stderr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), c.stderr)
+			}
+		})
+	}
+}
+
+// TestRunWithMetricsAndSpans exercises the observability flags end to
+// end on a real FDL file: the run must print the Prometheus dump and the
+// span tree alongside the audit trail.
+func TestRunWithMetricsAndSpans(t *testing.T) {
+	bin := buildWfrun(t)
+	fdl := filepath.Join(t.TempDir(), "p.fdl")
+	src := `PROGRAM 'step'
+END 'step'
+
+PROCESS 'demo' ( 'Default', 'Default' )
+  PROGRAM_ACTIVITY 'A' ( 'Default', 'Default' )
+    PROGRAM 'step'
+  END 'A'
+  PROGRAM_ACTIVITY 'B' ( 'Default', 'Default' )
+    PROGRAM 'step'
+  END 'B'
+  CONTROL FROM 'A' TO 'B'
+END 'demo'
+`
+	if err := os.WriteFile(fdl, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-metrics", "-spans", fdl)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"finished=true",
+		"-- metrics --",
+		"engine_program_invocations 2",
+		"engine_navigation_steps 2",
+		"demo [instance]",
+		"A [activity]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+}

@@ -17,12 +17,18 @@
 // the instance from it, demonstrating the §3.3 forward-recovery path:
 //
 //	wfrun -process travel -abort book_car -wal travel.wal -crash-at 5 travel.fdl
+//
+// Observability: -metrics dumps the engine/WAL metric registry in
+// Prometheus text format after the run, -metrics-addr serves it (plus
+// ?format=json) over HTTP while the run executes, and -spans renders the
+// instance's span tree derived from the audit trail.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +36,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fdl"
 	"repro/internal/fmtm"
+	"repro/internal/obs"
 	"repro/internal/rm"
 	"repro/internal/wal"
 )
@@ -45,11 +52,14 @@ func main() {
 	walPath := flag.String("wal", "", "write the navigation log to this file (default: in-memory)")
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every record (requires -wal)")
 	crashAt := flag.Int("crash-at", 0, "inject a crash after N WAL records, then repair and recover (requires -wal)")
+	metrics := flag.Bool("metrics", false, "dump the metric registry (Prometheus text format) after the run")
+	metricsAddr := flag.String("metrics-addr", "", "serve metrics over HTTP on this address while running (e.g. :9090)")
+	spans := flag.Bool("spans", false, "print the instance's span tree derived from the audit trail")
 	var aborts, abortNs multiFlag
 	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
 	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n]] file.fdl\n")
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n]] [-metrics] [-metrics-addr :port] [-spans] file.fdl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,8 +67,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Flag misuse is a usage error (exit 2), distinct from runtime
+	// failures (exit 1): scripts can tell a bad invocation from a bad run.
 	if *walPath == "" && (*fsync || *crashAt > 0) {
-		fatal(errors.New("-fsync and -crash-at require -wal"))
+		fmt.Fprintln(os.Stderr, "wfrun: -fsync and -crash-at require -wal")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *metricsAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, obs.Handler(obs.Default)); err != nil {
+				fmt.Fprintf(os.Stderr, "wfrun: metrics server: %v\n", err)
+			}
+		}()
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -176,6 +197,9 @@ func main() {
 			fmt.Println(ev)
 		}
 	}
+	if *spans {
+		fmt.Print(inst.Trace().Render())
+	}
 	fmt.Printf("instance %s of %s: finished=%v\n", inst.ID(), name, inst.Finished())
 	if events := rec.Events(); len(events) > 0 {
 		var parts []string
@@ -185,6 +209,10 @@ func main() {
 		fmt.Printf("transactional history: %s\n", strings.Join(parts, " "))
 	}
 	fmt.Printf("output: %s\n", inst.Output())
+	if *metrics {
+		fmt.Println("-- metrics --")
+		obs.WritePrometheus(os.Stdout, obs.Default)
+	}
 }
 
 func fatal(err error) {

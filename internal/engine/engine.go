@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/org"
 	"repro/internal/wal"
 )
@@ -87,6 +88,7 @@ type Engine struct {
 	sleep       func(time.Duration)
 	concurrency int
 	nextID      atomic.Int64
+	metrics     *engineMetrics
 
 	instMu    sync.Mutex
 	instances []*Instance
@@ -129,6 +131,14 @@ func WithConcurrency(n int) Option {
 	return func(e *Engine) { e.concurrency = n }
 }
 
+// WithMetrics points the engine's instrumentation at the given registry
+// instead of obs.Default — tests assert exact counts against a fresh
+// registry, embedders can segregate engines. The metric names are listed
+// in DESIGN.md ("Observability").
+func WithMetrics(reg *obs.Registry) Option {
+	return func(e *Engine) { e.metrics = newEngineMetrics(reg) }
+}
+
 // New returns an engine with the NOP program pre-registered.
 func New(opts ...Option) *Engine {
 	e := &Engine{
@@ -140,8 +150,14 @@ func New(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	if e.metrics == nil {
+		e.metrics = newEngineMetrics(obs.Default)
+	}
 	return e
 }
+
+// Metrics returns the registry this engine records into.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics.reg }
 
 // RegisterProgram makes a program invocable from program activities. As in
 // FlowMark, "once a program is registered it can be invoked from any
@@ -251,6 +267,7 @@ func (e *Engine) CreateInstance(process string, input map[string]expr.Value, log
 	}
 	id := fmt.Sprintf("inst-%d", e.nextID.Add(1))
 	inst := newInstance(e, id, p, in, log)
+	e.metrics.instCreated.Inc()
 	e.instMu.Lock()
 	e.instances = append(e.instances, inst)
 	e.instMu.Unlock()

@@ -394,6 +394,8 @@ func (inst *Instance) Cancel() error {
 		return errors.New("engine: instance not started")
 	}
 	inst.event(Event{Kind: EvCanceled})
+	inst.eng.metrics.instCanceled.Inc()
+	inst.eng.metrics.queueDepth.Add(-int64(len(inst.queue)))
 	inst.queue = nil
 	for _, as := range inst.byPath {
 		if as.state == StateTerminated {
@@ -420,10 +422,14 @@ func (inst *Instance) Cancel() error {
 
 func (inst *Instance) fail(err error) {
 	inst.stMu.Lock()
-	if inst.err == nil {
+	first := inst.err == nil
+	if first {
 		inst.err = err
 	}
 	inst.stMu.Unlock()
+	if first {
+		inst.eng.metrics.instFailed.Inc()
+	}
 }
 
 // failActivity records a fatal program-activity failure: the cause goes to
@@ -458,7 +464,9 @@ func (inst *Instance) addPending(d int) {
 func (inst *Instance) appendLog(rec wal.Record) {
 	if err := inst.log.Append(rec); err != nil {
 		inst.fail(err)
+		return
 	}
+	inst.eng.metrics.walAppends.Inc()
 }
 
 func (inst *Instance) event(ev Event) {
@@ -468,6 +476,7 @@ func (inst *Instance) event(ev Event) {
 
 func (inst *Instance) enqueue(as *actState) {
 	inst.queue = append(inst.queue, as)
+	inst.eng.metrics.queueDepth.Add(1)
 }
 
 // completion carries a finished asynchronous program invocation back to
@@ -487,9 +496,11 @@ func (inst *Instance) pump() {
 		for inst.err == nil && len(inst.queue) > 0 {
 			as := inst.queue[0]
 			inst.queue = inst.queue[1:]
+			inst.eng.metrics.queueDepth.Add(-1)
 			if as.state != StateReady {
 				continue // stale entry (e.g. scope was reset)
 			}
+			inst.eng.metrics.navSteps.Inc()
 			inst.runActivity(as)
 		}
 		if inst.inflight == 0 {
@@ -500,6 +511,7 @@ func (inst *Instance) pump() {
 		// goroutine leaks.
 		c := <-inst.completions
 		inst.inflight--
+		inst.eng.metrics.inflight.Add(-1)
 		if inst.err != nil {
 			continue
 		}
@@ -619,6 +631,7 @@ func (inst *Instance) runProgram(as *actState) {
 		// loop only touches state that is immutable while the activity
 		// runs, so it is safe on the worker goroutine.
 		inst.inflight++
+		inst.eng.metrics.inflight.Add(1)
 		pool := inst.pool
 		go func() {
 			pool <- struct{}{}
@@ -651,9 +664,11 @@ func (inst *Instance) runProgram(as *actState) {
 // in concurrent mode — everything it touches is immutable while the
 // activity is running.
 func (inst *Instance) executeAttempts(prog Program, as *actState, in *model.Container) (*model.Container, error) {
+	m := inst.eng.metrics
 	budget := as.act.Retry.Attempts()
 	var lastErr error
 	attempts := 0
+	start := time.Now()
 	for attempt := 1; attempt <= budget; attempt++ {
 		out, err := as.sc.types.NewContainer(as.act.Out())
 		if err != nil {
@@ -664,18 +679,37 @@ func (inst *Instance) executeAttempts(prog Program, as *actState, in *model.Cont
 			In: in, Out: out, Attempt: attempt,
 		}
 		attempts = attempt
+		if attempt > 1 {
+			m.retries.Inc()
+		}
 		if err := invokeGuarded(prog, inv, as.act.DeadlineMS); err == nil {
+			m.invocations.Inc()
+			if out.RC() == 0 {
+				m.committed.Inc()
+			} else {
+				m.aborted.Inc()
+			}
+			m.programNs.ObserveSince(start)
 			return out, nil
 		} else {
 			lastErr = err
+		}
+		var pe *PanicError
+		if errors.As(lastErr, &pe) {
+			m.panics.Inc()
 		}
 		if !IsTransient(lastErr) || attempt == budget {
 			break
 		}
 		if rp := as.act.Retry; rp != nil && rp.BackoffMS > 0 {
-			inst.eng.sleep(time.Duration(rp.BackoffMS<<(attempt-1)) * time.Millisecond)
+			backoff := time.Duration(rp.BackoffMS<<(attempt-1)) * time.Millisecond
+			m.backoffNs.Observe(backoff.Nanoseconds())
+			inst.eng.sleep(backoff)
 		}
 	}
+	m.invocations.Inc()
+	m.progFailed.Inc()
+	m.programNs.ObserveSince(start)
 	return nil, &ActivityFailure{
 		Path: as.path(), Program: as.act.Program, Iter: as.iter,
 		Attempts: attempts, Cause: lastErr,
@@ -801,6 +835,7 @@ func (inst *Instance) finishActivity(as *actState, out *model.Container) {
 		}
 		if !ok {
 			// §3.2: "If false, the activity is rescheduled for execution."
+			inst.eng.metrics.loops.Inc()
 			inst.event(Event{Kind: EvLooped, Path: path, Iter: as.iter})
 			as.iter++
 			inst.setReady(as)
@@ -818,6 +853,7 @@ func (inst *Instance) terminateActivity(as *actState, out *model.Container, dead
 	as.dead = dead
 	as.output = out
 	if dead {
+		inst.eng.metrics.deadPaths.Inc()
 		inst.event(Event{Kind: EvDeadPath, Path: as.path(), Iter: as.iter})
 	} else {
 		inst.event(Event{Kind: EvTerminated, Path: as.path(), Iter: as.iter})
@@ -918,6 +954,7 @@ func (inst *Instance) scopeDone(sc *scope) {
 			return
 		}
 		inst.markDone()
+		inst.eng.metrics.instFinished.Inc()
 		inst.event(Event{Kind: EvDone})
 		return
 	}

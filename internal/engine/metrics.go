@@ -1,0 +1,57 @@
+package engine
+
+import "repro/internal/obs"
+
+// engineMetrics caches instrument handles so the navigation hot path pays
+// one atomic add per event instead of a registry lookup. The metric names
+// are part of the observable surface and documented in DESIGN.md
+// ("Observability"); renaming one is a breaking change for dashboards.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	instCreated  *obs.Counter // engine.instances.created
+	instFinished *obs.Counter // engine.instances.finished
+	instFailed   *obs.Counter // engine.instances.failed
+	instCanceled *obs.Counter // engine.instances.canceled
+
+	navSteps   *obs.Counter // engine.navigation.steps
+	queueDepth *obs.Gauge   // engine.queue.depth
+	inflight   *obs.Gauge   // engine.inflight.workers
+
+	invocations *obs.Counter   // engine.program.invocations
+	committed   *obs.Counter   // engine.program.committed
+	aborted     *obs.Counter   // engine.program.aborted
+	progFailed  *obs.Counter   // engine.program.failed
+	retries     *obs.Counter   // engine.program.retries
+	panics      *obs.Counter   // engine.program.panics
+	programNs   *obs.Histogram // engine.program.ns
+	backoffNs   *obs.Histogram // engine.program.backoff_ns
+
+	deadPaths  *obs.Counter // engine.deadpath.eliminations
+	loops      *obs.Counter // engine.loops
+	walAppends *obs.Counter // engine.wal.appends
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		reg:          reg,
+		instCreated:  reg.Counter("engine.instances.created"),
+		instFinished: reg.Counter("engine.instances.finished"),
+		instFailed:   reg.Counter("engine.instances.failed"),
+		instCanceled: reg.Counter("engine.instances.canceled"),
+		navSteps:     reg.Counter("engine.navigation.steps"),
+		queueDepth:   reg.Gauge("engine.queue.depth"),
+		inflight:     reg.Gauge("engine.inflight.workers"),
+		invocations:  reg.Counter("engine.program.invocations"),
+		committed:    reg.Counter("engine.program.committed"),
+		aborted:      reg.Counter("engine.program.aborted"),
+		progFailed:   reg.Counter("engine.program.failed"),
+		retries:      reg.Counter("engine.program.retries"),
+		panics:       reg.Counter("engine.program.panics"),
+		programNs:    reg.Histogram("engine.program.ns"),
+		backoffNs:    reg.Histogram("engine.program.backoff_ns"),
+		deadPaths:    reg.Counter("engine.deadpath.eliminations"),
+		loops:        reg.Counter("engine.loops"),
+		walAppends:   reg.Counter("engine.wal.appends"),
+	}
+}

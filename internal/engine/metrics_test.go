@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+func counter(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	return reg.Counter(name).Value()
+}
+
+// TestMetricsChainRun pins the exact metric counts of a clean A -> B -> C
+// run: every number here is derivable from the navigation semantics, so a
+// drift means either the instrumentation or the engine changed.
+func TestMetricsChainRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newTestEngine(t, WithMetrics(reg))
+	if e.Metrics() != reg {
+		t.Fatal("Metrics() accessor broken")
+	}
+	if err := e.RegisterProcess(chainProcess("P")); err != nil {
+		t.Fatal(err)
+	}
+	log := &wal.MemLog{}
+	inst, err := e.CreateInstance("P", nil, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"engine.instances.created":     1,
+		"engine.instances.finished":    1,
+		"engine.instances.failed":      0,
+		"engine.navigation.steps":      3, // A, B, C
+		"engine.program.invocations":   3,
+		"engine.program.committed":     3,
+		"engine.program.aborted":       0,
+		"engine.program.retries":       0,
+		"engine.program.panics":        0,
+		"engine.deadpath.eliminations": 0,
+		"engine.loops":                 0,
+		// created + 3x(started+finished) + done
+		"engine.wal.appends": 8,
+	}
+	for name, w := range want {
+		if got := counter(t, reg, name); got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+	if int64(log.Len()) != counter(t, reg, "engine.wal.appends") {
+		t.Errorf("wal.appends = %d but log has %d records",
+			counter(t, reg, "engine.wal.appends"), log.Len())
+	}
+	if d := reg.Gauge("engine.queue.depth"); d.Value() != 0 || d.Max() < 1 {
+		t.Errorf("queue depth = %d max %d, want 0 with max >= 1", d.Value(), d.Max())
+	}
+	if h := reg.Snapshot().Histograms["engine.program.ns"]; h.Count != 3 {
+		t.Errorf("program.ns count = %d, want 3", h.Count)
+	}
+}
+
+// TestMetricsAbortDeadPathAndLoop covers the outcome split: an aborting
+// activity dead-path-eliminates its successors, and an exit-condition
+// loop re-executes its activity.
+func TestMetricsAbortDeadPathAndLoop(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newTestEngine(t, WithMetrics(reg))
+	// A aborts -> B and C are eliminated.
+	if err := e.RegisterProcess(chainProcess("Abort", "abort")); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("Abort", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(t, reg, "engine.program.aborted"); got != 1 {
+		t.Errorf("aborted = %d, want 1", got)
+	}
+	if got := counter(t, reg, "engine.deadpath.eliminations"); got != 2 {
+		t.Errorf("deadpath.eliminations = %d, want 2", got)
+	}
+
+	// An activity whose exit condition fails once: two executions, one loop.
+	loop := model.NewProcess("Loop")
+	loop.Activities = append(loop.Activities, &model.Activity{
+		Name: "L", Kind: model.KindProgram, Program: "iter",
+		Exit: expr.MustParse("RC = 0"),
+	})
+	if err := e.RegisterProgram("iter", ProgramFunc(func(inv *Invocation) error {
+		if inv.Iter == 0 {
+			inv.Out.SetRC(1)
+		} else {
+			inv.Out.SetRC(0)
+		}
+		return nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterProcess(loop); err != nil {
+		t.Fatal(err)
+	}
+	inst, err = e.CreateInstance("Loop", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(t, reg, "engine.loops"); got != 1 {
+		t.Errorf("loops = %d, want 1", got)
+	}
+}
+
+// TestMetricsRetriesBackoffAndPanic pins the fault-tolerance metrics: a
+// program that fails transiently twice before committing yields two
+// retries and two backoff observations; a panicking program counts a
+// panic and a failed invocation.
+func TestMetricsRetriesBackoffAndPanic(t *testing.T) {
+	reg := obs.NewRegistry()
+	var slept []time.Duration
+	e := newTestEngine(t,
+		WithMetrics(reg),
+		WithSleep(func(d time.Duration) { slept = append(slept, d) }))
+	calls := 0
+	if err := e.RegisterProgram("flaky", ProgramFunc(func(inv *Invocation) error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("transient outage"))
+		}
+		inv.Out.SetRC(0)
+		return nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	p := model.NewProcess("Flaky")
+	p.Activities = append(p.Activities, &model.Activity{
+		Name: "F", Kind: model.KindProgram, Program: "flaky",
+		Retry: &model.RetryPolicy{MaxAttempts: 3, BackoffMS: 10},
+	})
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstance("Flaky", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(t, reg, "engine.program.retries"); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := counter(t, reg, "engine.program.committed"); got != 1 {
+		t.Errorf("committed = %d, want 1", got)
+	}
+	bo := reg.Snapshot().Histograms["engine.program.backoff_ns"]
+	if bo.Count != 2 || bo.SumNs != (10*time.Millisecond+20*time.Millisecond).Nanoseconds() {
+		t.Errorf("backoff_ns count=%d sum=%d, want 2 observations of 10ms+20ms", bo.Count, bo.SumNs)
+	}
+	if len(slept) != 2 {
+		t.Errorf("sleeps = %v, want 2", slept)
+	}
+
+	// Panic: fatal, no retry.
+	if err := e.RegisterProgram("kaboom", ProgramFunc(func(inv *Invocation) error {
+		panic("kaboom")
+	})); err != nil {
+		t.Fatal(err)
+	}
+	pp := model.NewProcess("Panic")
+	pp.Activities = append(pp.Activities, &model.Activity{Name: "K", Kind: model.KindProgram, Program: "kaboom"})
+	if err := e.RegisterProcess(pp); err != nil {
+		t.Fatal(err)
+	}
+	inst, err = e.CreateInstance("Panic", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err == nil {
+		t.Fatal("panicking instance did not fail")
+	}
+	if got := counter(t, reg, "engine.program.panics"); got != 1 {
+		t.Errorf("panics = %d, want 1", got)
+	}
+	if got := counter(t, reg, "engine.program.failed"); got != 1 {
+		t.Errorf("program.failed = %d, want 1", got)
+	}
+	if got := counter(t, reg, "engine.instances.failed"); got != 1 {
+		t.Errorf("instances.failed = %d, want 1", got)
+	}
+}
+
+// TestTraceFromTrail checks the span tree derived from a finished chain
+// run: instance root, one closed span per activity, rc attributes, and a
+// failure trace carrying the cause.
+func TestTraceFromTrail(t *testing.T) {
+	clock := int64(0)
+	e := newTestEngine(t, WithClock(func() int64 { clock++; return clock }))
+	if err := e.RegisterProcess(chainProcess("P")); err != nil {
+		t.Fatal(err)
+	}
+	inst := runToEnd(t, e, "P", nil)
+	tr := inst.Trace()
+	if tr.TraceID != inst.ID() || tr.Process != "P" {
+		t.Fatalf("trace header: %+v", tr)
+	}
+	root := tr.Root
+	if root.Status != "ok" || root.Kind != "instance" || len(root.Children) != 3 {
+		t.Fatalf("root: status=%s children=%d", root.Status, len(root.Children))
+	}
+	for i, name := range []string{"A", "B", "C"} {
+		sp := root.Children[i]
+		if sp.Name != name || sp.Status != "ok" || sp.Attrs["rc"] != "0" || sp.Attrs["program"] != "ok" {
+			t.Errorf("span %d: %+v", i, sp)
+		}
+		if sp.End < sp.Start || sp.Duration() < 0 {
+			t.Errorf("span %s: start=%d end=%d", name, sp.Start, sp.End)
+		}
+	}
+	// Logical clock strictly increases, so spans must be ordered.
+	if !(root.Start < root.Children[0].Start && root.Children[0].End <= root.Children[1].Start) {
+		t.Errorf("span timing out of order: %v", tr.Render())
+	}
+	if !strings.Contains(tr.Render(), "A [activity]") {
+		t.Errorf("render: %s", tr.Render())
+	}
+
+	// Failed run: the failing activity's span records the cause.
+	if err := e.RegisterProcess(chainProcess("F", "ok", "boom")); err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := e.CreateInstance("F", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst2.Start(); err == nil {
+		t.Fatal("expected failure")
+	}
+	tr2 := inst2.Trace()
+	if tr2.Root.Status != "failed" || tr2.Root.Attrs["cause"] == "" {
+		t.Fatalf("failed root: %+v", tr2.Root)
+	}
+	var failedSpan *obs.Span
+	for _, sp := range tr2.Root.Children {
+		if sp.Name == "B" {
+			failedSpan = sp
+		}
+	}
+	if failedSpan == nil || failedSpan.Status != "failed" || !strings.Contains(failedSpan.Attrs["cause"], "infrastructure failure") {
+		t.Fatalf("failed span: %+v", failedSpan)
+	}
+}
+
+// TestTraceNesting checks that block member executions nest under the
+// block activity's span.
+func TestTraceNesting(t *testing.T) {
+	e := newTestEngine(t)
+	inner := &model.Graph{}
+	inner.Activities = append(inner.Activities, &model.Activity{Name: "I", Kind: model.KindProgram, Program: "ok"})
+	p := model.NewProcess("Nested")
+	p.Activities = append(p.Activities, &model.Activity{Name: "Blk", Kind: model.KindBlock, Block: inner})
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst := runToEnd(t, e, "Nested", nil)
+	tr := inst.Trace()
+	if len(tr.Root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1 (the block)", len(tr.Root.Children))
+	}
+	blk := tr.Root.Children[0]
+	if blk.Name != "Blk" || len(blk.Children) != 1 || blk.Children[0].Path != "Blk#0/I" {
+		t.Fatalf("block span: %+v children %+v", blk, blk.Children)
+	}
+}

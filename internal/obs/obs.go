@@ -1,0 +1,286 @@
+// Package obs is the reproduction's observability substrate: a
+// dependency-free metrics registry (atomic counters, gauges with
+// high-watermarks, and latency histograms with fixed nanosecond buckets)
+// plus a lightweight span/trace model derived from the engine's audit
+// trail. The paper's §3.3 positions monitoring and audit trails as the
+// capability that distinguishes a WFMS from a bare transaction monitor;
+// obs turns that capability into numbers a production system can ship:
+// the engine and the WAL record into a Registry, cmd/wfrun dumps it or
+// serves it over HTTP (Prometheus text format), and cmd/wfbench embeds
+// snapshots in its machine-readable reports.
+//
+// Everything is safe for concurrent use and allocation-free on the hot
+// path: instruments are looked up once (Registry.Counter et al. are
+// get-or-create) and then updated with single atomic operations.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to remain monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value (queue depth, inflight workers). It
+// tracks the high-watermark seen so far, so a dump-on-exit still shows how
+// deep the queue ever got.
+type Gauge struct{ v, max atomic.Int64 }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.bumpMax(g.v.Add(delta)) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) {
+	g.v.Store(n)
+	g.bumpMax(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the high-watermark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+func (g *Gauge) bumpMax(n int64) {
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return
+		}
+	}
+}
+
+// DefaultBuckets are the histogram bucket upper bounds in nanoseconds:
+// decades from 1µs to 10s. Observations above the last bound land in the
+// implicit +Inf bucket. Fixed buckets keep snapshots schema-stable across
+// runs, which is what lets BENCH_*.json files be diffed between PRs.
+var DefaultBuckets = []int64{
+	1_000,          // 1µs
+	10_000,         // 10µs
+	100_000,        // 100µs
+	1_000_000,      // 1ms
+	10_000_000,     // 10ms
+	100_000_000,    // 100ms
+	1_000_000_000,  // 1s
+	10_000_000_000, // 10s
+}
+
+// Histogram accumulates nanosecond durations into the fixed DefaultBuckets
+// plus count/sum/min/max. All updates are lock-free. Obtain histograms
+// from a Registry (a zero-value Histogram mis-tracks its minimum).
+type Histogram struct {
+	counts     [len9]atomic.Int64 // DefaultBuckets + overflow
+	count, sum atomic.Int64
+	min, max   atomic.Int64
+}
+
+const len9 = 9 // len(DefaultBuckets) + 1 overflow bucket
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	i := 0
+	for i < len(DefaultBuckets) && ns > DefaultBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.min.Load()
+		if ns >= m || h.min.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Nanoseconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry. Lookups are get-or-create and safe for concurrent use;
+// callers on hot paths should look an instrument up once and keep the
+// pointer.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Default is the process-wide registry. The engine and the WAL record here
+// unless explicitly pointed elsewhere (engine.WithMetrics,
+// wal.WithMetricsRegistry); cmd/wfrun -metrics dumps it.
+var Default = NewRegistry()
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeSnapshot is the frozen state of one gauge.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// BucketSnapshot is one histogram bucket: LE is the inclusive upper bound
+// in nanoseconds (-1 for the +Inf overflow bucket) and Count the
+// non-cumulative number of observations that landed in it.
+type BucketSnapshot struct {
+	LE    int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	SumNs   int64            `json:"sum_ns"`
+	MinNs   int64            `json:"min_ns"`
+	MaxNs   int64            `json:"max_ns"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// Snapshot is a frozen, JSON-serializable view of a registry. Map keys
+// marshal in sorted order, so equal registries produce byte-identical
+// JSON — the schema stability the benchmark trajectory relies on.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. Instruments are read with
+// individual atomic loads; a snapshot taken while writers are active is a
+// consistent-enough monitoring view, not a transaction.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeSnapshot, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{Count: h.Count(), SumNs: h.Sum(), MaxNs: h.max.Load()}
+			if min := h.min.Load(); hs.Count > 0 && min != math.MaxInt64 {
+				hs.MinNs = min
+			}
+			hs.Buckets = make([]BucketSnapshot, 0, len9)
+			for i, le := range DefaultBuckets {
+				hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: le, Count: h.counts[i].Load()})
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: -1, Count: h.counts[len9-1].Load()})
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("q")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 || g.Max() != 3 {
+		t.Fatalf("gauge = %d max %d, want 2 max 3", g.Value(), g.Max())
+	}
+	g.Set(7)
+	g.Set(1)
+	if g.Value() != 1 || g.Max() != 7 {
+		t.Fatalf("gauge = %d max %d, want 1 max 7", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// One observation per decade boundary (inclusive upper bound), plus an
+	// overflow.
+	for _, ns := range []int64{1_000, 10_000, 100_000, 1_000_000, 20_000_000_000} {
+		h.Observe(ns)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.MinNs != 1_000 || s.MaxNs != 20_000_000_000 {
+		t.Fatalf("min/max = %d/%d", s.MinNs, s.MaxNs)
+	}
+	wantCounts := map[int64]int64{1_000: 1, 10_000: 1, 100_000: 1, 1_000_000: 1, -1: 1}
+	for _, b := range s.Buckets {
+		if b.Count != wantCounts[b.LE] {
+			t.Errorf("bucket le=%d count=%d, want %d", b.LE, b.Count, wantCounts[b.LE])
+		}
+	}
+	if len(s.Buckets) != len(DefaultBuckets)+1 {
+		t.Fatalf("bucket count = %d", len(s.Buckets))
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("never")
+	s := r.Snapshot().Histograms["never"]
+	if s.Count != 0 || s.MinNs != 0 || s.MaxNs != 0 || s.SumNs != 0 {
+		t.Fatalf("empty histogram snapshot: %+v", s)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from many
+// goroutines; run with -race. Totals must be exact — the registry promises
+// lock-free but lossless accounting.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Interleave lookups with updates so map access races are
+			// exercised too.
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(int64(w*perWorker + i + 1))
+				r.Gauge("g").Add(-1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		// Concurrent snapshots must not race with writers.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if got := r.Counter("c").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	h := r.Snapshot().Histograms["h"]
+	if h.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	if h.MinNs != 1 || h.MaxNs != workers*perWorker {
+		t.Fatalf("histogram min/max = %d/%d, want 1/%d", h.MinNs, h.MaxNs, workers*perWorker)
+	}
+	var bucketTotal int64
+	for _, b := range h.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != h.Count {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, h.Count)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.program.invocations").Add(3)
+	r.Gauge("engine.queue.depth").Set(2)
+	r.Histogram("wal.fsync_ns").Observe(5_000)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE engine_program_invocations counter",
+		"engine_program_invocations 3",
+		"engine_queue_depth 2",
+		"engine_queue_depth_max 2",
+		"# TYPE wal_fsync_ns histogram",
+		`wal_fsync_ns_bucket{le="10000"} 1`,
+		`wal_fsync_ns_bucket{le="+Inf"} 1`,
+		"wal_fsync_ns_sum 5000",
+		"wal_fsync_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x 1") {
+		t.Fatalf("prom body: %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("json body: %v", err)
+	}
+	if snap.Counters["x"] != 1 {
+		t.Fatalf("json snapshot: %+v", snap)
+	}
+}
+
+func TestTraceRenderAndJSON(t *testing.T) {
+	root := &Span{Name: "p", Kind: "instance", Start: 0, End: 5, Status: "ok"}
+	child := &Span{
+		Name: "a", Kind: "activity", Path: "a", Start: 1, End: 4, Status: "ok",
+		Attrs: map[string]string{"program": "ok", "rc": "0"},
+	}
+	child.AddEvent("ready", 1, "")
+	root.Children = append(root.Children, child)
+	tr := &Trace{TraceID: "inst-1", Process: "p", Root: root}
+	out := tr.Render()
+	if !strings.Contains(out, "p [instance] 0s..5s ok") || !strings.Contains(out, "  a [activity] 1s..4s ok program=ok rc=0 events=1") {
+		t.Fatalf("render:\n%s", out)
+	}
+	b, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Root.Children[0].Duration() != 3 {
+		t.Fatalf("round trip: %+v", back.Root)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("g").Set(1)
+	one, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(one) != string(two) {
+		t.Fatalf("snapshot JSON unstable:\n%s\n%s", one, two)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// promName maps a dotted metric name to the Prometheus identifier charset:
+// every character outside [a-zA-Z0-9_:] becomes '_'.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as-is (gauges additionally
+// publish a <name>_max high-watermark series), histograms with cumulative
+// le-labeled buckets plus _sum and _count. Series are sorted by name so
+// the output is deterministic.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	var names []string
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, snap.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		g := snap.Gauges[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n# TYPE %s_max gauge\n%s_max %d\n",
+			p, p, g.Value, p, p, g.Max); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		h := snap.Histograms[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.LE >= 0 {
+				le = fmt.Sprint(b.LE)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", p, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", p, h.SumNs, p, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry snapshot as indented JSON — the
+// expvar-style view of the same data.
+func WriteJSON(w io.Writer, r *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves the registry over HTTP: Prometheus text format by
+// default, the JSON snapshot with ?format=json. Mount it wherever the
+// embedding process wants its /metrics endpoint (cmd/wfrun -metrics-addr).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// This file defines the span/trace model: a tree of timed spans with
+// point events attached, the shape distributed tracers (OpenTelemetry,
+// Zipkin) standardized. Here a trace is *derived* from an instance's
+// audit trail after the fact rather than emitted live — the audit trail
+// already is a total order of timestamped events (§3.3 "monitoring"), so
+// tracing costs the engine nothing beyond what auditing already pays.
+// engine.(*Instance).Trace does the derivation.
+
+// Span is one timed operation: the whole instance, or one activity
+// execution (one exit-condition iteration). Start and End are engine
+// clock values (seconds with the default wall clock; tests inject logical
+// clocks, so durations can be exact in tests and coarse in production).
+type Span struct {
+	// Name is the display name: the process name for the instance span,
+	// the activity name for activity spans.
+	Name string `json:"name"`
+	// Kind is "instance" or "activity".
+	Kind string `json:"kind"`
+	// Path is the full activity path within the instance ("" for the
+	// instance span); Iter the exit-condition iteration.
+	Path  string `json:"path,omitempty"`
+	Iter  int    `json:"iter,omitempty"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+	// Status is "ok", "failed", or "open" (never completed — a crashed or
+	// still-running execution).
+	Status string `json:"status"`
+	// Attrs carries span attributes: "program", "rc", "cause".
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Events are point-in-time occurrences within the span (ready, looped,
+	// connector evaluations, work item flow, ...).
+	Events []SpanEvent `json:"events,omitempty"`
+	// Children are nested spans: activity spans under the instance span,
+	// block/subprocess member executions under their owner's span.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// SpanEvent is a point event attached to a span.
+type SpanEvent struct {
+	Name   string `json:"name"`
+	At     int64  `json:"at"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is a whole instance execution as a span tree.
+type Trace struct {
+	TraceID string `json:"trace_id"`
+	Process string `json:"process"`
+	Root    *Span  `json:"root"`
+}
+
+// Duration returns End - Start.
+func (s *Span) Duration() int64 { return s.End - s.Start }
+
+// AddEvent appends a point event.
+func (s *Span) AddEvent(name string, at int64, detail string) {
+	s.Events = append(s.Events, SpanEvent{Name: name, At: at, Detail: detail})
+}
+
+// JSON marshals the trace as indented JSON.
+func (t *Trace) JSON() ([]byte, error) { return json.MarshalIndent(t, "", "  ") }
+
+// Render returns a human-readable tree, one span per line:
+//
+//	travel [instance] 0s..5s ok
+//	  Forward [activity] 0s..3s ok program=copy_input
+func (t *Trace) Render() string {
+	var sb strings.Builder
+	renderSpan(&sb, t.Root, 0)
+	return sb.String()
+}
+
+func renderSpan(sb *strings.Builder, s *Span, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(sb, "%s [%s] %ds..%ds %s", s.Name, s.Kind, s.Start, s.End, s.Status)
+	if p := s.Attrs["program"]; p != "" {
+		fmt.Fprintf(sb, " program=%s", p)
+	}
+	if rc := s.Attrs["rc"]; rc != "" {
+		fmt.Fprintf(sb, " rc=%s", rc)
+	}
+	if c := s.Attrs["cause"]; c != "" {
+		fmt.Fprintf(sb, " cause=%q", c)
+	}
+	if s.Iter > 0 {
+		fmt.Fprintf(sb, " iter=%d", s.Iter)
+	}
+	if n := len(s.Events); n > 0 {
+		fmt.Fprintf(sb, " events=%d", n)
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.Children {
+		renderSpan(sb, c, depth+1)
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+
+	"repro/internal/obs"
+)
+
+// BenchSchema identifies the wfbench JSON layout; bump it when a field
+// changes meaning so trajectory tooling can refuse mixed files.
+const BenchSchema = "wfbench/v1"
+
+// BenchFile is the machine-readable output of a wfbench run: one entry
+// per experiment/benchmark report, in run order, so CI can archive
+// BENCH_<PR>.json files and diff performance across PRs.
+type BenchFile struct {
+	Schema  string        `json:"schema"`
+	Go      string        `json:"go"`
+	OS      string        `json:"os"`
+	Arch    string        `json:"arch"`
+	Reports []BenchReport `json:"reports"`
+}
+
+// BenchReport is one report plus the process-wide metric snapshot taken
+// when the report was added — the delta between consecutive snapshots is
+// what that run contributed.
+type BenchReport struct {
+	ID      string        `json:"id"`
+	Title   string        `json:"title"`
+	Pass    bool          `json:"pass"`
+	Error   string        `json:"error,omitempty"`
+	Columns []string      `json:"columns,omitempty"`
+	Rows    [][]string    `json:"rows,omitempty"`
+	Samples []Sample      `json:"samples,omitempty"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// NewBenchFile stamps the runtime identity.
+func NewBenchFile() *BenchFile {
+	return &BenchFile{
+		Schema: BenchSchema,
+		Go:     runtime.Version(),
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
+	}
+}
+
+// Add converts a Report and appends it together with the current
+// obs.Default snapshot.
+func (b *BenchFile) Add(r *Report) {
+	br := BenchReport{
+		ID:      r.ID,
+		Title:   r.Title,
+		Pass:    r.Pass,
+		Columns: r.Columns,
+		Rows:    r.Rows,
+		Samples: r.Samples,
+	}
+	if r.Err != nil {
+		br.Error = r.Err.Error()
+	}
+	br.Metrics = obs.Default.Snapshot()
+	b.Reports = append(b.Reports, br)
+}
+
+// WriteFile serializes the bench file as indented JSON.
+func (b *BenchFile) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -27,26 +28,69 @@ func RunAllBenchTables() []*Report {
 	return []*Report{RunB1(), RunB2(), RunB3(), RunB4(), RunB5(), RunB6(), RunB7(), RunB8()}
 }
 
-// measure runs f repeatedly for at least minDuration and returns ns/op.
-func measure(f func()) float64 {
-	const minDuration = 30 * time.Millisecond
-	// Warm up and calibrate.
-	start := time.Now()
-	f()
-	per := time.Since(start)
+// Timing is the result of one measured operation: the mean over every
+// timed iteration, the per-op time of the fastest batch (the noise floor —
+// the statistic to compare across PRs, since it is least disturbed by GC
+// and scheduling), and how many iterations were timed.
+type Timing struct {
+	MeanNs float64
+	MinNs  float64
+	Iters  int
+}
+
+// measureStats times f. Calibration runs over a short warm-up *window*
+// rather than a single cold call — the first execution of a workload pays
+// lazy initialization and cold caches, and letting it alone pick the
+// iteration count made ns/op swing between runs. The timed phase then
+// runs in a few equal batches so a per-batch minimum is available.
+func measureStats(f func()) Timing {
+	const (
+		warmDuration = 5 * time.Millisecond
+		minDuration  = 30 * time.Millisecond
+		batches      = 3
+	)
+	// Warm-up window: at least two calls, then until the window elapses,
+	// calibrating on the fastest call observed.
+	per := time.Duration(1<<63 - 1)
+	warmStart := time.Now()
+	for calls := 0; calls < 2 || time.Since(warmStart) < warmDuration; calls++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < per {
+			per = d
+		}
+	}
 	if per <= 0 {
 		per = time.Nanosecond
 	}
-	iters := int(minDuration/per) + 1
-	start = time.Now()
-	for i := 0; i < iters; i++ {
-		f()
+	iters := int(minDuration/batches/per) + 1
+	var total time.Duration
+	minBatch := math.MaxFloat64
+	for b := 0; b < batches; b++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		total += elapsed
+		if perOp := float64(elapsed.Nanoseconds()) / float64(iters); perOp < minBatch {
+			minBatch = perOp
+		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	return Timing{
+		MeanNs: float64(total.Nanoseconds()) / float64(batches*iters),
+		MinNs:  minBatch,
+		Iters:  batches * iters,
+	}
 }
+
+// measure runs f repeatedly and returns mean ns/op (see measureStats).
+func measure(f func()) float64 { return measureStats(f).MeanNs }
 
 func fmtNs(ns float64) string {
 	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
 	case ns >= 1e6:
 		return fmt.Sprintf("%.2fms", ns/1e6)
 	case ns >= 1e3:
@@ -83,7 +127,7 @@ func RunB1() *Report {
 			r.Err = err
 			return r
 		}
-		ns := measure(func() {
+		tm := measureStats(func() {
 			inst, err := e.CreateInstance(c.proc.Name, nil, wal.Discard)
 			if err == nil {
 				err = inst.Start()
@@ -92,7 +136,9 @@ func RunB1() *Report {
 				panic(fmt.Sprintf("B1 %s: %v", c.proc.Name, err))
 			}
 		})
-		r.AddRow(c.name, strconv.Itoa(c.acts), fmtNs(ns), fmt.Sprintf("%.0f", float64(c.acts)/(ns/1e9)))
+		actsPerSec := float64(c.acts) / (tm.MeanNs / 1e9)
+		r.AddRow(c.name, strconv.Itoa(c.acts), fmtNs(tm.MeanNs), fmt.Sprintf("%.0f", actsPerSec))
+		r.AddSample(sampleFrom(fmt.Sprintf("B1/%s/%d", c.name, c.acts), tm, actsPerSec))
 	}
 	return r
 }
@@ -119,12 +165,13 @@ func RunB2() *Report {
 				}
 				return inj
 			}
-			nativeNs := measure(func() {
+			nativeTm := measureStats(func() {
 				ex := &saga.Executor{Decider: mkDec()}
 				if _, err := ex.Execute(spec, fmtm.PureSagaBinding(spec), nil); err != nil {
 					panic(err)
 				}
 			})
+			nativeNs := nativeTm.MeanNs
 			// Engine and template are prepared once (template reuse is how
 			// FlowMark amortizes translation); per-op cost is instance
 			// creation + navigation.
@@ -143,7 +190,7 @@ func RunB2() *Report {
 			if err := e.RegisterProcess(p); err != nil {
 				panic(err)
 			}
-			wfNs := measure(func() {
+			wfTm := measureStats(func() {
 				inst, err := e.CreateInstance(spec.Name, nil, wal.Discard)
 				if err == nil {
 					err = inst.Start()
@@ -152,11 +199,15 @@ func RunB2() *Report {
 					panic(err)
 				}
 			})
+			wfNs := wfTm.MeanNs
 			ab := "-"
 			if abort {
 				ab = abortName
 			}
 			r.AddRow(strconv.Itoa(n), ab, fmtNs(nativeNs), fmtNs(wfNs), fmt.Sprintf("%.1f", wfNs/nativeNs))
+			caseName := fmt.Sprintf("B2/n=%d/abort=%s", n, ab)
+			r.AddSample(sampleFrom(caseName+"/native", nativeTm, 0))
+			r.AddSample(sampleFrom(caseName+"/workflow", wfTm, 0))
 		}
 	}
 	return r
@@ -187,12 +238,13 @@ func RunB3() *Report {
 			sc.inject(inj)
 			return inj
 		}
-		nativeNs := measure(func() {
+		nativeTm := measureStats(func() {
 			ex := &flexible.Executor{Decider: mkDec()}
 			if _, err := ex.Execute(spec, fmtm.PureFlexibleBinding(spec), nil); err != nil {
 				panic(err)
 			}
 		})
+		nativeNs := nativeTm.MeanNs
 		e := engine.New()
 		if err := fmtm.RegisterRuntime(e); err != nil {
 			panic(err)
@@ -207,7 +259,7 @@ func RunB3() *Report {
 		if err := e.RegisterProcess(p); err != nil {
 			panic(err)
 		}
-		wfNs := measure(func() {
+		wfTm := measureStats(func() {
 			inst, err := e.CreateInstance(spec.Name, nil, wal.Discard)
 			if err == nil {
 				err = inst.Start()
@@ -216,7 +268,10 @@ func RunB3() *Report {
 				panic(err)
 			}
 		})
+		wfNs := wfTm.MeanNs
 		r.AddRow(sc.name, fmtNs(nativeNs), fmtNs(wfNs), fmt.Sprintf("%.1f", wfNs/nativeNs))
+		r.AddSample(sampleFrom("B3/"+sc.name+"/native", nativeTm, 0))
+		r.AddSample(sampleFrom("B3/"+sc.name+"/workflow", wfTm, 0))
 	}
 	return r
 }
@@ -231,7 +286,7 @@ func RunB4() *Report {
 	}
 	for _, n := range []int{10, 100, 1000} {
 		spec := NStepSaga("s", n)
-		trNs := measure(func() {
+		trTm := measureStats(func() {
 			if _, err := fmtm.TranslateSaga(spec, fmtm.SagaOptions{}); err != nil {
 				panic(err)
 			}
@@ -242,13 +297,16 @@ func RunB4() *Report {
 		}
 		file := &fdl.File{Types: p.Types, Processes: []*model.Process{p}}
 		var text string
-		expNs := measure(func() { text = fdl.Export(file) })
-		parseNs := measure(func() {
+		expTm := measureStats(func() { text = fdl.Export(file) })
+		parseTm := measureStats(func() {
 			if _, err := fdl.Parse(text); err != nil {
 				panic(err)
 			}
 		})
-		r.AddRow(strconv.Itoa(n), fmtNs(trNs), fmtNs(expNs), fmtNs(parseNs))
+		r.AddRow(strconv.Itoa(n), fmtNs(trTm.MeanNs), fmtNs(expTm.MeanNs), fmtNs(parseTm.MeanNs))
+		r.AddSample(sampleFrom(fmt.Sprintf("B4/n=%d/translate", n), trTm, 0))
+		r.AddSample(sampleFrom(fmt.Sprintf("B4/n=%d/fdl-export", n), expTm, 0))
+		r.AddSample(sampleFrom(fmt.Sprintf("B4/n=%d/fdl-parse", n), parseTm, 0))
 	}
 	return r
 }
@@ -276,15 +334,18 @@ func RunB5() *Report {
 			panic(err)
 		}
 		records := log.Records()
-		recNs := measure(func() {
+		recTm := measureStats(func() {
 			rec, err := engine.Recover(e, records, wal.Discard)
 			if err != nil || !rec.Finished() {
 				panic(err)
 			}
 		})
+		recNs := recTm.MeanNs
+		recsPerSec := float64(len(records)) / (recNs / 1e9)
 		r.AddRow(strconv.Itoa(n), strconv.Itoa(len(records)), fmtNs(recNs),
 			fmt.Sprintf("%.0f", recNs/float64(len(records))),
-			fmt.Sprintf("%.0f", float64(len(records))/(recNs/1e9)))
+			fmt.Sprintf("%.0f", recsPerSec))
+		r.AddSample(sampleFrom(fmt.Sprintf("B5/chain=%d/records=%d", n, len(records)), recTm, recsPerSec))
 	}
 	return r
 }
@@ -333,8 +394,15 @@ func RunB6() *Report {
 			elapsed := time.Since(start)
 			commits, _, deadlocks := s.Stats()
 			total := workers * txPerWorker
+			commitsPerSec := float64(commits) / elapsed.Seconds()
 			r.AddRow(strconv.Itoa(workers), strconv.Itoa(keys), strconv.Itoa(total),
-				fmt.Sprintf("%.0f", float64(commits)/elapsed.Seconds()), fmt.Sprint(deadlocks))
+				fmt.Sprintf("%.0f", commitsPerSec), fmt.Sprint(deadlocks))
+			r.AddSample(Sample{
+				Name:          fmt.Sprintf("B6/workers=%d/keys=%d", workers, keys),
+				NsOp:          float64(elapsed.Nanoseconds()) / float64(total),
+				Iters:         total,
+				RecordsPerSec: commitsPerSec,
+			})
 		}
 	}
 	return r
@@ -358,8 +426,8 @@ func RunB7() *Report {
 			panic(err)
 		}
 	}
-	run := func(name string, log wal.Log) float64 {
-		return measure(func() {
+	run := func(name string, log wal.Log) Timing {
+		return measureStats(func() {
 			inst, err := e.CreateInstance(name, nil, log)
 			if err == nil {
 				err = inst.Start()
@@ -369,19 +437,24 @@ func RunB7() *Report {
 			}
 		})
 	}
-	base := run("live", wal.Discard)
+	baseTm := run("live", wal.Discard)
+	base := baseTm.MeanNs
 	r.AddRow(fmt.Sprintf("chain n=%d, WAL off (baseline)", n), fmtNs(base), "1.0")
-	withWal := run("live", &wal.MemLog{})
-	r.AddRow(fmt.Sprintf("chain n=%d, in-memory WAL", n), fmtNs(withWal), fmt.Sprintf("%.2f", withWal/base))
-	dpe := run("dead", wal.Discard)
-	r.AddRow(fmt.Sprintf("dpe-chain n=%d (1 executed, %d eliminated)", n, n-1), fmtNs(dpe), fmt.Sprintf("%.2f", dpe/base))
+	r.AddSample(sampleFrom("B7/wal-off", baseTm, 0))
+	withWalTm := run("live", &wal.MemLog{})
+	r.AddRow(fmt.Sprintf("chain n=%d, in-memory WAL", n), fmtNs(withWalTm.MeanNs), fmt.Sprintf("%.2f", withWalTm.MeanNs/base))
+	r.AddSample(sampleFrom("B7/wal-mem", withWalTm, 0))
+	dpeTm := run("dead", wal.Discard)
+	r.AddRow(fmt.Sprintf("dpe-chain n=%d (1 executed, %d eliminated)", n, n-1), fmtNs(dpeTm.MeanNs), fmt.Sprintf("%.2f", dpeTm.MeanNs/base))
+	r.AddSample(sampleFrom("B7/dpe-chain", dpeTm, 0))
 	// File-backed WAL.
 	path := filepath.Join(os.TempDir(), fmt.Sprintf("wfbench-%d.wal", os.Getpid()))
 	defer os.Remove(path)
 	if flog, ferr := wal.OpenFileLog(path); ferr == nil {
-		fileNs := run("live", flog)
+		fileTm := run("live", flog)
 		flog.Close()
-		r.AddRow(fmt.Sprintf("chain n=%d, file WAL", n), fmtNs(fileNs), fmt.Sprintf("%.2f", fileNs/base))
+		r.AddRow(fmt.Sprintf("chain n=%d, file WAL", n), fmtNs(fileTm.MeanNs), fmt.Sprintf("%.2f", fileTm.MeanNs/base))
+		r.AddSample(sampleFrom("B7/wal-file", fileTm, 0))
 	}
 	return r
 }
@@ -434,9 +507,11 @@ func RunB8() *Report {
 	}
 	base := run(mkEngine(1))
 	r.AddRow(strconv.Itoa(width), "1 (sequential)", fmt.Sprintf("%.1f", base/1e6), "1.0")
+	r.AddSample(Sample{Name: "B8/pool=1", NsOp: base, Iters: 5})
 	for _, pool := range []int{2, 4, 8} {
 		ns := run(mkEngine(pool))
 		r.AddRow(strconv.Itoa(width), strconv.Itoa(pool), fmt.Sprintf("%.1f", ns/1e6), fmt.Sprintf("%.1f", base/ns))
+		r.AddSample(Sample{Name: fmt.Sprintf("B8/pool=%d", pool), NsOp: ns, Iters: 5})
 	}
 	return r
 }

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFmtNs covers all four unit branches and their boundaries — the
+// seconds case was missing entirely before PR 2, so anything slower than
+// a second rendered as e.g. "1500.00ms".
+func TestFmtNs(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want string
+	}{
+		{0, "0ns"},
+		{1, "1ns"},
+		{999, "999ns"},
+		{1e3, "1.0us"},
+		{1500, "1.5us"},
+		{999_900, "999.9us"},
+		{1e6, "1.00ms"},
+		{2.5e6, "2.50ms"},
+		{999_990_000, "999.99ms"},
+		{1e9, "1.00s"},
+		{1.5e9, "1.50s"},
+		{12.34e9, "12.34s"},
+	}
+	for _, c := range cases {
+		if got := fmtNs(c.ns); got != c.want {
+			t.Errorf("fmtNs(%v) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+// TestMeasureStats sanity-checks the warm-up calibration: the reported
+// mean and minimum must be positive, the minimum can't exceed the mean,
+// and a trivial function must have measured more than one iteration
+// (the pre-PR2 single-cold-call calibration could land on iters=1).
+func TestMeasureStats(t *testing.T) {
+	calls := 0
+	tm := measureStats(func() { calls++ })
+	if tm.MeanNs <= 0 || tm.MinNs <= 0 {
+		t.Fatalf("non-positive timing: %+v", tm)
+	}
+	if tm.MinNs > tm.MeanNs*1.01 {
+		t.Errorf("min %v exceeds mean %v", tm.MinNs, tm.MeanNs)
+	}
+	if tm.Iters < 2 {
+		t.Errorf("iters = %d, want >= 2 for a trivial op", tm.Iters)
+	}
+	if calls <= tm.Iters {
+		t.Errorf("calls = %d, want > timed iters %d (warm-up must run)", calls, tm.Iters)
+	}
+}
+
+// TestBenchFileSchema round-trips a BenchFile through disk and checks
+// the schema-stable fields cmd/wfbench relies on.
+func TestBenchFileSchema(t *testing.T) {
+	bf := NewBenchFile()
+	if bf.Schema != BenchSchema || bf.Go == "" || bf.OS == "" || bf.Arch == "" {
+		t.Fatalf("runtime identity missing: %+v", bf)
+	}
+	r := &Report{ID: "B0", Title: "probe", Columns: []string{"x"}, Pass: true}
+	r.AddRow("1")
+	r.AddSample(Sample{Name: "B0/case", NsOp: 42, MinNsOp: 40, Iters: 3, RecordsPerSec: 10})
+	bf.Add(r)
+	failed := &Report{ID: "E0", Title: "broken", Pass: false, Err: errors.New("boom")}
+	bf.Add(failed)
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := bf.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchFile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Schema != BenchSchema || len(back.Reports) != 2 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	b0 := back.Reports[0]
+	if !b0.Pass || b0.ID != "B0" || len(b0.Samples) != 1 || b0.Samples[0].NsOp != 42 {
+		t.Fatalf("report 0: %+v", b0)
+	}
+	if b0.Metrics == nil {
+		t.Fatal("report 0: metric snapshot missing")
+	}
+	e0 := back.Reports[1]
+	if e0.Pass || e0.Error != "boom" {
+		t.Fatalf("report 1: %+v", e0)
+	}
+}

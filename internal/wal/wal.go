@@ -43,8 +43,10 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 )
 
 // RecordType discriminates log records.
@@ -176,12 +178,19 @@ func parseLine(line []byte) (Record, error) {
 }
 
 // FileLog appends CRC-framed JSON-line records to a file. It is safe for
-// concurrent use. Close flushes buffered data and syncs the file.
+// concurrent use. Close flushes buffered data and syncs the file. Appends
+// are counted (records and bytes) and fsync latency is histogrammed in
+// the metrics registry — obs.Default unless WithMetricsRegistry redirects
+// it; metric names are listed in DESIGN.md ("Observability").
 type FileLog struct {
 	mu    sync.Mutex
 	f     *os.File
 	w     *bufio.Writer
 	fsync bool
+
+	appends *obs.Counter   // wal.file.appends
+	bytes   *obs.Counter   // wal.file.bytes
+	fsyncNs *obs.Histogram // wal.fsync_ns
 }
 
 // FileOption configures a FileLog.
@@ -195,6 +204,18 @@ func WithFsync() FileOption {
 	return func(l *FileLog) { l.fsync = true }
 }
 
+// WithMetricsRegistry points the log's instrumentation at reg instead of
+// obs.Default.
+func WithMetricsRegistry(reg *obs.Registry) FileOption {
+	return func(l *FileLog) { l.bindMetrics(reg) }
+}
+
+func (l *FileLog) bindMetrics(reg *obs.Registry) {
+	l.appends = reg.Counter("wal.file.appends")
+	l.bytes = reg.Counter("wal.file.bytes")
+	l.fsyncNs = reg.Histogram("wal.fsync_ns")
+}
+
 // OpenFileLog creates (or truncates) a file-backed log.
 func OpenFileLog(path string, opts ...FileOption) (*FileLog, error) {
 	f, err := os.Create(path)
@@ -202,6 +223,7 @@ func OpenFileLog(path string, opts ...FileOption) (*FileLog, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &FileLog{f: f, w: bufio.NewWriter(f)}
+	l.bindMetrics(obs.Default)
 	for _, o := range opts {
 		o(l)
 	}
@@ -216,20 +238,25 @@ func (l *FileLog) Append(rec Record) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := l.w.Write(frameLine(b)); err != nil {
+	n, err := l.w.Write(frameLine(b))
+	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := l.w.WriteByte('\n'); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if l.fsync {
+		start := time.Now()
 		if err := l.w.Flush(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
+		l.fsyncNs.ObserveSince(start)
 	}
+	l.appends.Inc()
+	l.bytes.Add(int64(n) + 1)
 	return nil
 }
 
@@ -529,7 +556,10 @@ func RepairFile(path string) ([]Record, int, error) {
 		if err := os.Truncate(path, int64(validLen)); err != nil {
 			return nil, 0, fmt.Errorf("wal: %w", err)
 		}
+		obs.Default.Counter("wal.recovery.repairs").Inc()
+		obs.Default.Counter("wal.recovery.dropped_bytes").Add(int64(dropped))
 	}
+	obs.Default.Counter("wal.recovery.records").Add(int64(len(recs)))
 	return recs, dropped, nil
 }
 
