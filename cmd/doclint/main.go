@@ -1,0 +1,171 @@
+// Command doclint is the repository's documentation linter, run by the
+// CI docs job. It has two checks, both standard library only:
+//
+//	doclint -md .                         # relative markdown links resolve
+//	doclint internal/wal internal/engine  # exported symbols have doc comments
+//
+// The -md check walks the tree for *.md files and verifies that every
+// relative link target exists (external http(s)/mailto links and pure
+// #anchors are skipped; a trailing #fragment is stripped before the
+// check). The package check parses each listed directory with go/doc and
+// requires a package comment plus a doc comment on every exported
+// package-level type, function, method, and const/var group — the same
+// contract go vet's stdlib analyzers assume but do not enforce.
+//
+// Exit status: 0 clean, 1 findings (each printed as file:line: message),
+// 2 usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	mdRoot := flag.String("md", "", "walk this directory and check relative links in every *.md file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doclint [-md dir] [package-dir]...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *mdRoot == "" && flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	findings := 0
+	report := func(pos, msg string) {
+		fmt.Printf("%s: %s\n", pos, msg)
+		findings++
+	}
+
+	if *mdRoot != "" {
+		if err := checkMarkdown(*mdRoot, report); err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	for _, dir := range flag.Args() {
+		if err := checkDocComments(dir, report); err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if findings > 0 {
+		fmt.Printf("doclint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// mdLink matches inline markdown links and images: [text](target) with an
+// optional "title". Targets with spaces are not used in this repository.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdown walks root for *.md files (skipping VCS metadata) and
+// verifies every relative link target exists on disk.
+func checkMarkdown(root string, report func(pos, msg string)) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		lines := strings.Split(string(data), "\n")
+		for i, line := range lines {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") ||
+					strings.HasPrefix(target, "mailto:") ||
+					strings.HasPrefix(target, "#") {
+					continue
+				}
+				if idx := strings.IndexByte(target, '#'); idx >= 0 {
+					target = target[:idx]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					report(fmt.Sprintf("%s:%d", path, i+1),
+						fmt.Sprintf("broken link %q (resolved %s)", m[1], resolved))
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// checkDocComments parses one package directory and reports every
+// exported package-level symbol without a doc comment.
+func checkDocComments(dir string, report func(pos, msg string)) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return err
+	}
+	for name, pkg := range pkgs {
+		d := doc.New(pkg, dir, 0)
+		if strings.TrimSpace(d.Doc) == "" {
+			report(dir, fmt.Sprintf("package %s has no package comment", name))
+		}
+		pos := func(n ast.Node) string {
+			p := fset.Position(n.Pos())
+			return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		}
+		for _, f := range d.Funcs {
+			if strings.TrimSpace(f.Doc) == "" {
+				report(pos(f.Decl), fmt.Sprintf("exported function %s has no doc comment", f.Name))
+			}
+		}
+		checkValues := func(kind string, vals []*doc.Value) {
+			for _, v := range vals {
+				if strings.TrimSpace(v.Doc) == "" && len(v.Names) > 0 {
+					report(pos(v.Decl), fmt.Sprintf("exported %s %s has no doc comment", kind, v.Names[0]))
+				}
+			}
+		}
+		checkValues("const", d.Consts)
+		checkValues("var", d.Vars)
+		for _, t := range d.Types {
+			if strings.TrimSpace(t.Doc) == "" {
+				report(pos(t.Decl), fmt.Sprintf("exported type %s has no doc comment", t.Name))
+			}
+			for _, f := range t.Funcs {
+				if strings.TrimSpace(f.Doc) == "" {
+					report(pos(f.Decl), fmt.Sprintf("exported function %s has no doc comment", f.Name))
+				}
+			}
+			for _, m := range t.Methods {
+				if strings.TrimSpace(m.Doc) == "" {
+					report(pos(m.Decl), fmt.Sprintf("exported method %s.%s has no doc comment", t.Name, m.Name))
+				}
+			}
+			checkValues("const", t.Consts)
+			checkValues("var", t.Vars)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildDoclint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "doclint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDoclintFindsProblems feeds the linter a broken relative link and a
+// package with undocumented exported symbols; both must be reported and
+// the exit status must be 1.
+func TestDoclintFindsProblems(t *testing.T) {
+	bin := buildDoclint(t)
+	dir := t.TempDir()
+	md := "see [the design](DESIGN.md) and [this](https://example.com/x) and [ok](sub/ok.md)\n"
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sub", "ok.md"), []byte("fine\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "pkg")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package pkg
+
+// Documented is fine.
+type Documented struct{}
+
+type Undocumented struct{}
+
+func Exported() {}
+
+func unexported() {}
+`
+	if err := os.WriteFile(filepath.Join(pkg, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-md", dir, pkg)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("expected exit 1, got %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`broken link "DESIGN.md"`,
+		"no package comment",
+		"exported type Undocumented has no doc comment",
+		"exported function Exported has no doc comment",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+	for _, bad := range []string{"example.com", "ok.md", "Documented is fine", "unexported"} {
+		if strings.Contains(s, "link \""+bad) || strings.Contains(s, bad+" has no doc") {
+			t.Errorf("false positive on %q\n%s", bad, s)
+		}
+	}
+}
+
+// TestDoclintCleanTree pins the repository itself as lint-clean — the
+// same invocation the CI docs job runs.
+func TestDoclintCleanTree(t *testing.T) {
+	bin := buildDoclint(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-md", root,
+		filepath.Join(root, "internal", "wal"),
+		filepath.Join(root, "internal", "engine"))
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("doclint on the repository failed: %v\n%s", err, out)
+	}
+}

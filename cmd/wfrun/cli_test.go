@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/wal"
 )
 
 // buildWfrun compiles the command once per test binary into a temp dir.
@@ -33,6 +35,14 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"fsync without wal", []string{"-fsync", "x.fdl"}, "-fsync and -crash-at require -wal"},
 		{"crash-at without wal", []string{"-crash-at", "3", "x.fdl"}, "-fsync and -crash-at require -wal"},
 		{"no file argument", []string{}, "usage: wfrun"},
+		{"group-commit without wal", []string{"-group-commit", "x.fdl"}, "-group-commit requires -wal"},
+		{"flush-ms without group-commit", []string{"-wal", "x.wal", "-flush-ms", "2", "x.fdl"}, "-flush-ms and -batch require -group-commit"},
+		{"batch without group-commit", []string{"-wal", "x.wal", "-batch", "8", "x.fdl"}, "-flush-ms and -batch require -group-commit"},
+		{"crash-at with group-commit", []string{"-wal", "x.wal", "-group-commit", "-crash-at", "3", "x.fdl"}, "-crash-at is incompatible with -group-commit"},
+		{"crash-at with fleet", []string{"-wal", "x.wal", "-crash-at", "3", "-n", "4", "x.fdl"}, "-crash-at is incompatible with fleet mode"},
+		{"zero fleet size", []string{"-n", "0", "x.fdl"}, "-n and -parallel must be >= 1"},
+		{"zero parallel", []string{"-n", "4", "-parallel", "0", "x.fdl"}, "-n and -parallel must be >= 1"},
+		{"bad batch", []string{"-wal", "x.wal", "-group-commit", "-batch", "0", "x.fdl"}, "-flush-ms must be >= 0 and -batch >= 1"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -93,6 +103,66 @@ END 'demo'
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+}
+
+// TestFleetWithGroupCommit runs a fleet over a shared group-commit WAL
+// end to end: the aggregate summary must report every instance finished,
+// the metrics dump must show the fleet and group-commit instruments, and
+// the shared log must be strictly readable afterwards with every
+// instance's records present.
+func TestFleetWithGroupCommit(t *testing.T) {
+	bin := buildWfrun(t)
+	dir := t.TempDir()
+	fdl := filepath.Join(dir, "p.fdl")
+	src := `PROGRAM 'step'
+END 'step'
+
+PROCESS 'demo' ( 'Default', 'Default' )
+  PROGRAM_ACTIVITY 'A' ( 'Default', 'Default' )
+    PROGRAM 'step'
+  END 'A'
+  PROGRAM_ACTIVITY 'B' ( 'Default', 'Default' )
+    PROGRAM 'step'
+  END 'B'
+  CONTROL FROM 'A' TO 'B'
+END 'demo'
+`
+	if err := os.WriteFile(fdl, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "fleet.wal")
+	cmd := exec.Command(bin, "-wal", walPath, "-group-commit", "-n", "16", "-parallel", "4", "-metrics", fdl)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"fleet: 16 instances of demo: finished=16 failed=0",
+		"wal_group_batches",
+		"wal_group_records 96", // 16 instances x (created + 2x(started+activity) + done)
+		"engine_fleet_active_max",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+	records, err := wal.ReadFile(walPath)
+	if err != nil {
+		t.Fatalf("reading shared log: %v", err)
+	}
+	perInst := make(map[string]int)
+	for _, r := range records {
+		perInst[r.Instance]++
+	}
+	if len(perInst) != 16 {
+		t.Fatalf("log holds %d instances, want 16", len(perInst))
+	}
+	for id, n := range perInst {
+		if n != 6 {
+			t.Errorf("instance %s has %d records, want 6", id, n)
 		}
 	}
 }

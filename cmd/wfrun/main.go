@@ -22,6 +22,21 @@
 // Prometheus text format after the run, -metrics-addr serves it (plus
 // ?format=json) over HTTP while the run executes, and -spans renders the
 // instance's span tree derived from the audit trail.
+//
+// Fleet mode executes many instances of the same template concurrently
+// against a bounded scheduler and prints an aggregate summary instead of
+// a per-instance trail: -n sets the fleet size, -parallel the number of
+// instances in flight. With -wal the whole fleet shares one log;
+// -group-commit batches the fleet's appends into one fsync per flush
+// (tune with -flush-ms and -batch):
+//
+//	wfrun -process travel -wal travel.wal -group-commit -n 64 -parallel 8 -metrics travel.fdl
+//
+// Flag misuse exits 2 (usage), runtime failures exit 1: -fsync,
+// -crash-at and -group-commit require -wal; -flush-ms and -batch require
+// -group-commit; -crash-at is incompatible with -group-commit and with
+// -n > 1 (crash injection is per-record and single-instance — the
+// batch-boundary soak lives in wfbench E8).
 package main
 
 import (
@@ -32,6 +47,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fdl"
@@ -55,11 +71,16 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the metric registry (Prometheus text format) after the run")
 	metricsAddr := flag.String("metrics-addr", "", "serve metrics over HTTP on this address while running (e.g. :9090)")
 	spans := flag.Bool("spans", false, "print the instance's span tree derived from the audit trail")
+	fleetN := flag.Int("n", 1, "fleet size: run N instances of the process and print an aggregate summary")
+	parallel := flag.Int("parallel", 1, "fleet workers: how many instances execute at once")
+	groupCommit := flag.Bool("group-commit", false, "batch WAL appends from concurrent instances into one fsync per flush (requires -wal)")
+	flushMs := flag.Int("flush-ms", 0, "group-commit accumulation window in milliseconds (0 = commit pipelining only; requires -group-commit)")
+	batch := flag.Int("batch", 64, "group-commit max records per batch (requires -group-commit)")
 	var aborts, abortNs multiFlag
 	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
 	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n]] [-metrics] [-metrics-addr :port] [-spans] file.fdl\n")
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]]] [-n fleet [-parallel p]] [-metrics] [-metrics-addr :port] [-spans] file.fdl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -69,10 +90,28 @@ func main() {
 	}
 	// Flag misuse is a usage error (exit 2), distinct from runtime
 	// failures (exit 1): scripts can tell a bad invocation from a bad run.
-	if *walPath == "" && (*fsync || *crashAt > 0) {
-		fmt.Fprintln(os.Stderr, "wfrun: -fsync and -crash-at require -wal")
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	usageError := func(msg string) {
+		fmt.Fprintln(os.Stderr, "wfrun: "+msg)
 		flag.Usage()
 		os.Exit(2)
+	}
+	switch {
+	case *walPath == "" && (*fsync || *crashAt > 0):
+		usageError("-fsync and -crash-at require -wal")
+	case *walPath == "" && *groupCommit:
+		usageError("-group-commit requires -wal")
+	case !*groupCommit && (explicit["flush-ms"] || explicit["batch"]):
+		usageError("-flush-ms and -batch require -group-commit")
+	case *flushMs < 0 || *batch < 1:
+		usageError("-flush-ms must be >= 0 and -batch >= 1")
+	case *fleetN < 1 || *parallel < 1:
+		usageError("-n and -parallel must be >= 1")
+	case *crashAt > 0 && *groupCommit:
+		usageError("-crash-at is incompatible with -group-commit (crash injection is per-record; see wfbench E8 for the batch-boundary soak)")
+	case *crashAt > 0 && *fleetN > 1:
+		usageError("-crash-at is incompatible with fleet mode (-n > 1)")
 	}
 	if *metricsAddr != "" {
 		go func() {
@@ -142,6 +181,7 @@ func main() {
 
 	var log wal.Log
 	var flog *wal.FileLog
+	var gclog *wal.GroupCommitLog
 	if *walPath != "" {
 		var opts []wal.FileOption
 		if *fsync {
@@ -152,12 +192,51 @@ func main() {
 			fatal(err)
 		}
 		log = flog
+		if *groupCommit {
+			gclog = wal.NewGroupCommitLog(flog,
+				wal.GroupWindow(time.Duration(*flushMs)*time.Millisecond),
+				wal.GroupMaxBatch(*batch))
+			log = gclog
+		}
 		if *crashAt > 0 {
 			log = wal.NewFaultLog(flog, *crashAt, false)
 		}
 	}
+	closeLog := func() error {
+		if gclog != nil {
+			return gclog.Close()
+		}
+		if flog != nil {
+			return flog.Close()
+		}
+		return nil
+	}
 
 	e, rec := build()
+
+	if *fleetN > 1 {
+		res, err := e.RunFleet(engine.FleetOptions{
+			Process: name, N: *fleetN, Parallel: *parallel, Log: log,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := closeLog(); err != nil {
+			fatal(err)
+		}
+		secs := res.Elapsed.Seconds()
+		fmt.Printf("fleet: %d instances of %s: finished=%d failed=%d elapsed=%s (%.1f instances/sec)\n",
+			res.Launched, name, res.Finished, res.Failed,
+			res.Elapsed.Round(time.Millisecond), float64(res.Launched)/secs)
+		if *metrics {
+			fmt.Println("-- metrics --")
+			obs.WritePrometheus(os.Stdout, obs.Default)
+		}
+		if res.Failed > 0 {
+			fatal(fmt.Errorf("%d of %d instances failed: %v", res.Failed, res.Launched, res.Err))
+		}
+		return
+	}
 	inst, err := e.CreateInstance(name, nil, log)
 	if err != nil {
 		fatal(err)
@@ -186,10 +265,8 @@ func main() {
 	case err != nil:
 		fatal(err)
 	default:
-		if flog != nil {
-			if err := flog.Close(); err != nil {
-				fatal(err)
-			}
+		if err := closeLog(); err != nil {
+			fatal(err)
 		}
 	}
 	if *trace {

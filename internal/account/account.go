@@ -1,9 +1,3 @@
-// Package account implements the accounting capability the paper credits
-// workflow systems with in §2/§3.3 ("support for organizational aspects,
-// user interface, monitoring, accounting, simulation"): it derives
-// per-activity and per-instance statistics from an instance's audit
-// trail — executions, retries, dead paths, waiting time on worklists and
-// execution time — using the event timestamps the engine records.
 package account
 
 import (

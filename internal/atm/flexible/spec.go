@@ -1,20 +1,3 @@
-// Package flexible implements Flexible Transactions for heterogeneous
-// multidatabase environments (Elmagarmid et al.; Mehrotra et al. MRSK92;
-// Zhang et al. ZNBB94) as presented in §4.2 of "Advanced Transaction
-// Models in Workflow Contexts".
-//
-// A flexible transaction is a set of typed subtransactions —
-// compensatable, retriable, or pivot (neither) — together with
-// preference-ordered alternative execution paths. If a subtransaction
-// aborts, execution switches to the next viable path after compensating
-// the compensatable subtransactions committed since the divergence point.
-// A well-formed flexible transaction is atomic: it either eventually
-// commits along some path or all its effects are undone.
-//
-// The package provides the specification shared with the fmtm translator,
-// the path-trie analysis with the well-formedness check, and a native
-// (non-workflow) executor used as the baseline for the paper's workflow
-// encoding (Figure 4).
 package flexible
 
 import (

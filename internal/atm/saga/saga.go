@@ -1,13 +1,3 @@
-// Package saga implements Linear Sagas (García-Molina & Salem, SIGMOD'87)
-// as presented in §4.1 of "Advanced Transaction Models in Workflow
-// Contexts": a long-lived transaction T = T1;...;Tn with compensating
-// transactions C1..Cn and the guarantee that either T1..Tn executes, or
-// T1..Tj;Cj;...;C1 for some 0 <= j < n.
-//
-// The package provides the saga specification shared with the fmtm
-// translator, a native (non-workflow) executor that serves as the baseline
-// the workflow encoding is compared against, and a checker for the saga
-// guarantee over observed histories.
 package saga
 
 import (

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/wal"
+)
+
+// Scheduler is a bounded worker pool with backpressure: Submit blocks
+// while all workers are busy, so a producer can never race ahead of the
+// pool's capacity. It is the fleet-level counterpart of the per-instance
+// program pool (WithConcurrency) — that pool parallelizes activities
+// inside one instance, the Scheduler parallelizes whole instances.
+//
+// A Scheduler is one-shot: Submit until done, then Wait; submitting
+// after Wait has returned is a programming error.
+type Scheduler struct {
+	slots chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewScheduler returns a pool of n workers (n < 1 is treated as 1).
+func NewScheduler(n int) *Scheduler {
+	if n < 1 {
+		n = 1
+	}
+	return &Scheduler{slots: make(chan struct{}, n)}
+}
+
+// Submit runs fn on a pool worker, blocking until a worker is free —
+// the fleet's admission backpressure.
+func (s *Scheduler) Submit(fn func()) {
+	s.slots <- struct{}{}
+	s.wg.Add(1)
+	go func() {
+		defer func() {
+			<-s.slots
+			s.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every submitted task has finished.
+func (s *Scheduler) Wait() { s.wg.Wait() }
+
+// FleetOptions configures one RunFleet call.
+type FleetOptions struct {
+	// Process is the registered process template every instance runs.
+	Process string
+	// N is the fleet size (number of instances). Must be >= 1.
+	N int
+	// Parallel bounds how many instances execute at once (default 1).
+	Parallel int
+	// Input, when non-nil, supplies the input container values for the
+	// i-th instance (0-based); nil runs every instance on defaults.
+	Input func(i int) map[string]expr.Value
+	// Log is the shared navigation log for the whole fleet — typically a
+	// *wal.GroupCommitLog so concurrent instances share fsyncs. nil gives
+	// each instance its own in-memory log. A shared on-disk log
+	// interleaves instances; RecoverAll demultiplexes it.
+	Log wal.Log
+}
+
+// FleetResult aggregates one fleet execution.
+type FleetResult struct {
+	// Launched counts instances actually created (== N unless creation
+	// failed mid-fleet).
+	Launched int
+	// Finished counts instances that ran to normal completion.
+	Finished int
+	// Failed counts instances that stopped on an error or degraded to
+	// status "failed" (Launched == Finished + Failed).
+	Failed int
+	// Elapsed is the wall-clock time from first admission to last
+	// completion.
+	Elapsed time.Duration
+	// Instances holds every launched instance, in launch order.
+	Instances []*Instance
+	// Err is the first instance error observed (nil when Failed == 0).
+	Err error
+}
+
+// RunFleet executes a fleet of N instances of one process against a
+// bounded Scheduler of Parallel workers and blocks until the whole fleet
+// has drained. This is the throughput shape of the paper's Figure 5
+// pipeline — "many concurrent instances of an executable template" — as
+// one call. Admission has backpressure (never more than Parallel
+// instances in flight) and is observable: engine.fleet.queue.depth
+// gauges instances admitted but waiting for a worker, engine.fleet.active
+// gauges instances executing.
+//
+// The returned error reports configuration problems (unknown process,
+// bad N); per-instance failures land in FleetResult.Failed / Err with
+// the fleet running to completion regardless.
+func (e *Engine) RunFleet(opts FleetOptions) (*FleetResult, error) {
+	if _, ok := e.Process(opts.Process); !ok {
+		return nil, fmt.Errorf("engine: unknown process %q", opts.Process)
+	}
+	if opts.N < 1 {
+		return nil, fmt.Errorf("engine: fleet size %d, want >= 1", opts.N)
+	}
+	parallel := opts.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+
+	sched := NewScheduler(parallel)
+	res := &FleetResult{Instances: make([]*Instance, 0, opts.N)}
+	var resMu sync.Mutex
+	start := time.Now()
+	for i := 0; i < opts.N; i++ {
+		var input map[string]expr.Value
+		if opts.Input != nil {
+			input = opts.Input(i)
+		}
+		inst, err := e.CreateInstance(opts.Process, input, opts.Log)
+		if err != nil {
+			resMu.Lock()
+			res.Failed++
+			if res.Err == nil {
+				res.Err = err
+			}
+			resMu.Unlock()
+			continue
+		}
+		resMu.Lock()
+		res.Launched++
+		res.Instances = append(res.Instances, inst)
+		resMu.Unlock()
+		e.metrics.fleetQueue.Add(1)
+		sched.Submit(func() {
+			e.metrics.fleetQueue.Add(-1)
+			e.metrics.fleetActive.Add(1)
+			defer e.metrics.fleetActive.Add(-1)
+			err := inst.Start()
+			if err == nil && inst.Finished() {
+				resMu.Lock()
+				res.Finished++
+				resMu.Unlock()
+				return
+			}
+			if err == nil {
+				err = inst.Err()
+			}
+			if err == nil {
+				status, cause := inst.StatusInfo()
+				err = fmt.Errorf("engine: instance %s ended %s (%s)", inst.ID(), status, cause)
+			}
+			resMu.Lock()
+			res.Failed++
+			if res.Err == nil {
+				res.Err = err
+			}
+			resMu.Unlock()
+		})
+	}
+	sched.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

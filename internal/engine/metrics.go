@@ -30,6 +30,9 @@ type engineMetrics struct {
 	deadPaths  *obs.Counter // engine.deadpath.eliminations
 	loops      *obs.Counter // engine.loops
 	walAppends *obs.Counter // engine.wal.appends
+
+	fleetQueue  *obs.Gauge // engine.fleet.queue.depth
+	fleetActive *obs.Gauge // engine.fleet.active
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -53,5 +56,7 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		deadPaths:    reg.Counter("engine.deadpath.eliminations"),
 		loops:        reg.Counter("engine.loops"),
 		walAppends:   reg.Counter("engine.wal.appends"),
+		fleetQueue:   reg.Gauge("engine.fleet.queue.depth"),
+		fleetActive:  reg.Gauge("engine.fleet.active"),
 	}
 }

@@ -66,3 +66,41 @@ func Recover(e *Engine, records []wal.Record, newLog wal.Log) (*Instance, error)
 	}
 	return inst, nil
 }
+
+// RecoverAll recovers every instance found in a log that interleaves
+// records from a whole fleet — what a shared GroupCommitLog leaves
+// behind. The records are demultiplexed by instance ID (each instance
+// appends sequentially, so its subsequence is causally ordered and
+// begins with its RecCreated record even though the fleet's records
+// interleave) and each instance is recovered in order of first
+// appearance via Recover. newLog, when non-nil, supplies the fresh log
+// for each recovered instance (nil gives each an in-memory log).
+//
+// Recovery stops at the first instance that fails to recover, returning
+// the instances recovered so far alongside the error.
+func RecoverAll(e *Engine, records []wal.Record, newLog func(instanceID string) wal.Log) ([]*Instance, error) {
+	byInst := make(map[string][]wal.Record)
+	var order []string
+	for _, rec := range records {
+		if rec.Instance == "" {
+			return nil, errors.New("engine: record without an instance ID")
+		}
+		if _, seen := byInst[rec.Instance]; !seen {
+			order = append(order, rec.Instance)
+		}
+		byInst[rec.Instance] = append(byInst[rec.Instance], rec)
+	}
+	out := make([]*Instance, 0, len(order))
+	for _, id := range order {
+		var log wal.Log
+		if newLog != nil {
+			log = newLog(id)
+		}
+		inst, err := Recover(e, byInst[id], log)
+		if err != nil {
+			return out, fmt.Errorf("engine: recovering %s: %w", id, err)
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}

@@ -1,0 +1,13 @@
+// Package expr implements the condition expression language used by
+// transition, start and exit conditions of workflow processes.
+//
+// The language is a small, side-effect-free boolean/arithmetic comparison
+// language over the typed members of data containers, in the style of the
+// FlowMark Definition Language condition syntax:
+//
+//	RC = 0 AND (State_2 <> 1 OR NOT Done)
+//
+// Identifiers are dotted member paths resolved against an Env (usually a
+// data container). Literals are 64-bit integers, floats, double-quoted
+// strings and the keywords TRUE and FALSE. Keywords are case-insensitive.
+package expr

@@ -1,42 +1,3 @@
-// Package fdl implements the process definition language of the
-// reproduction — a textual format modeled on the FlowMark Definition
-// Language (FDL) that the Exotica/FMTM pre-processor of the paper emits
-// (Figure 5). A definition file declares structure types, program
-// registrations and process definitions; it can be exported from and
-// imported into the in-memory model with a stable round trip.
-//
-// Syntax sketch (single-quoted names, double-quoted strings, /* comments */
-// and line comments starting with //):
-//
-//	STRUCTURE 'SagaState'
-//	  'State_1': LONG DEFAULT -1
-//	  'total':   'Money'
-//	END 'SagaState'
-//
-//	PROGRAM 'book_flight'
-//	  DESCRIPTION "books the flight"
-//	END 'book_flight'
-//
-//	PROCESS 'Travel' ( 'Order', 'SagaState' )
-//	  PROGRAM_ACTIVITY 'A' ( 'Order', 'Default' )
-//	    PROGRAM 'book_flight'
-//	    START MANUAL WHEN OR
-//	    EXIT WHEN "RC = 0"
-//	    DONE_BY ROLE 'agent'
-//	    NOTIFY AFTER 60 ROLE 'manager'
-//	  END 'A'
-//	  BLOCK 'B' ( 'Default', 'Default' )
-//	    ...activities and connectors...
-//	  END 'B'
-//	  PROCESS_ACTIVITY 'S' ( 'Default', 'Default' )
-//	    PROCESS 'Other'
-//	  END 'S'
-//	  CONTROL FROM 'A' TO 'B' WHEN "RC = 0"
-//	  DATA FROM 'A' TO SINK MAP 'RC' TO 'State_1'
-//	END 'Travel'
-//
-// In DATA connectors the keywords SOURCE and SINK denote the enclosing
-// scope's input and output containers (model.ScopeRef endpoints).
 package fdl
 
 import (

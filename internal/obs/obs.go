@@ -63,10 +63,11 @@ func (g *Gauge) bumpMax(n int64) {
 	}
 }
 
-// DefaultBuckets are the histogram bucket upper bounds in nanoseconds:
-// decades from 1µs to 10s. Observations above the last bound land in the
-// implicit +Inf bucket. Fixed buckets keep snapshots schema-stable across
-// runs, which is what lets BENCH_*.json files be diffed between PRs.
+// DefaultBuckets are the latency histogram bucket upper bounds in
+// nanoseconds: decades from 1µs to 10s. Observations above the last bound
+// land in the implicit +Inf bucket. Fixed buckets keep snapshots
+// schema-stable across runs, which is what lets BENCH_*.json files be
+// diffed between PRs.
 var DefaultBuckets = []int64{
 	1_000,          // 1µs
 	10_000,         // 10µs
@@ -78,27 +79,41 @@ var DefaultBuckets = []int64{
 	10_000_000_000, // 10s
 }
 
-// Histogram accumulates nanosecond durations into the fixed DefaultBuckets
-// plus count/sum/min/max. All updates are lock-free. Obtain histograms
-// from a Registry (a zero-value Histogram mis-tracks its minimum).
+// SizeBuckets are the bucket upper bounds of size histograms (counts of
+// things, not durations): powers of two from 1 to 128, sized for batch
+// and queue cardinalities. Like DefaultBuckets they are fixed so
+// snapshots stay schema-stable.
+var SizeBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Histogram accumulates observations into fixed buckets (DefaultBuckets
+// for latency histograms, SizeBuckets for size histograms) plus
+// count/sum/min/max. All updates are lock-free. Obtain histograms from a
+// Registry (a zero-value Histogram mis-tracks its minimum and has no
+// bucket bounds).
 type Histogram struct {
-	counts     [len9]atomic.Int64 // DefaultBuckets + overflow
+	counts     [len9]atomic.Int64 // bounds + overflow
 	count, sum atomic.Int64
 	min, max   atomic.Int64
+	bounds     []int64 // len == len9-1; DefaultBuckets or SizeBuckets
 }
 
 const len9 = 9 // len(DefaultBuckets) + 1 overflow bucket
 
-func newHistogram() *Histogram {
-	h := &Histogram{}
+func newHistogram(bounds []int64) *Histogram {
+	h := &Histogram{bounds: bounds}
 	h.min.Store(math.MaxInt64)
 	return h
 }
 
-// Observe records one duration in nanoseconds.
+// Observe records one observation (nanoseconds for latency histograms,
+// a unitless count for size histograms).
 func (h *Histogram) Observe(ns int64) {
+	bounds := h.bounds
+	if bounds == nil {
+		bounds = DefaultBuckets
+	}
 	i := 0
-	for i < len(DefaultBuckets) && ns > DefaultBuckets[i] {
+	for i < len(bounds) && ns > bounds[i] {
 		i++
 	}
 	h.counts[i].Add(1)
@@ -186,9 +201,20 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the histogram with the given name, creating it if
-// needed.
+// Histogram returns the latency histogram (DefaultBuckets bounds) with
+// the given name, creating it if needed.
 func (r *Registry) Histogram(name string) *Histogram {
+	return r.histogram(name, DefaultBuckets)
+}
+
+// SizeHistogram returns the size histogram (SizeBuckets bounds) with the
+// given name, creating it if needed. A name keeps the bounds it was first
+// created with; don't register the same name through both constructors.
+func (r *Registry) SizeHistogram(name string) *Histogram {
+	return r.histogram(name, SizeBuckets)
+}
+
+func (r *Registry) histogram(name string, bounds []int64) *Histogram {
 	r.mu.RLock()
 	h := r.hists[name]
 	r.mu.RUnlock()
@@ -198,7 +224,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
-		h = newHistogram()
+		h = newHistogram(bounds)
 		r.hists[name] = h
 	}
 	return h
@@ -262,8 +288,12 @@ func (r *Registry) Snapshot() *Snapshot {
 			if min := h.min.Load(); hs.Count > 0 && min != math.MaxInt64 {
 				hs.MinNs = min
 			}
+			bounds := h.bounds
+			if bounds == nil {
+				bounds = DefaultBuckets
+			}
 			hs.Buckets = make([]BucketSnapshot, 0, len9)
-			for i, le := range DefaultBuckets {
+			for i, le := range bounds {
 				hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: le, Count: h.counts[i].Load()})
 			}
 			hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: -1, Count: h.counts[len9-1].Load()})

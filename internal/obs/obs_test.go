@@ -58,6 +58,30 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestSizeHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.SizeHistogram("batch")
+	for _, n := range []int64{1, 2, 3, 64, 500} {
+		h.Observe(n)
+	}
+	if r.SizeHistogram("batch") != h {
+		t.Fatal("SizeHistogram is not get-or-create")
+	}
+	s := r.Snapshot().Histograms["batch"]
+	if s.Count != 5 || s.MinNs != 1 || s.MaxNs != 500 {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.MinNs, s.MaxNs)
+	}
+	wantCounts := map[int64]int64{1: 1, 2: 1, 4: 1, 64: 1, -1: 1}
+	for _, b := range s.Buckets {
+		if b.Count != wantCounts[b.LE] {
+			t.Errorf("bucket le=%d count=%d, want %d", b.LE, b.Count, wantCounts[b.LE])
+		}
+	}
+	if len(s.Buckets) != len(SizeBuckets)+1 {
+		t.Fatalf("bucket count = %d", len(s.Buckets))
+	}
+}
+
 func TestEmptyHistogramSnapshot(t *testing.T) {
 	r := NewRegistry()
 	r.Histogram("never")

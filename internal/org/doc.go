@@ -1,0 +1,10 @@
+// Package org implements the organizational model of §3.3 of the paper:
+// the description of an organization in terms of persons, roles and
+// hierarchical levels, the resolution of activity staff assignments to
+// eligible persons, per-person worklists where the same work item may
+// appear simultaneously on several lists until one person selects it, and
+// deadline notifications for work items that sit unselected too long.
+//
+// These are exactly the workflow features the paper points out are absent
+// from every advanced transaction model.
+package org

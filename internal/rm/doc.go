@@ -1,0 +1,11 @@
+// Package rm binds transactional units of work (subtransactions of sagas
+// and flexible transactions) to the txdb local databases and to engine
+// programs, with deterministic failure injection.
+//
+// The paper's transaction-model semantics are driven entirely by which
+// subtransactions commit and which abort; the injector scripts those
+// outcomes per subtransaction so every abort scenario in the paper's
+// appendix can be produced on demand and reproducibly: abort-always (a
+// failed pivot), abort-n-times-then-commit (a retriable subtransaction
+// doing real retries), or seeded random outcomes for workload sweeps.
+package rm

@@ -166,6 +166,19 @@ func TestFastBenchTables(t *testing.T) {
 			t.Errorf("%s: pass=%v rows=%d", rep.ID, rep.Pass, len(rep.Rows))
 		}
 	}
+	// B9's >=5x speedup gate is a wall-clock ratio that the race
+	// detector's instrumentation distorts (compute slows, so the fsync
+	// amortization matters relatively less); wfbench enforces the gate in
+	// CI without -race. Here only the table structure and the batching
+	// itself are asserted.
+	rep := RunB9()
+	if len(rep.Rows) != 6 {
+		t.Errorf("B9: rows=%d, want 6", len(rep.Rows))
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if mean := last[6]; mean == "-" || strings.HasPrefix(mean, "1.0") {
+		t.Errorf("B9: fleet-32 group commit shows no batching (mean batch %s)", mean)
+	}
 }
 
 func TestSimulateSaga(t *testing.T) {

@@ -1,0 +1,12 @@
+// Package txdb implements the local database substrate of the
+// reproduction: an embedded transactional key-value store with strict
+// two-phase locking, lock upgrades, waits-for-graph deadlock detection and
+// before-image undo. Several independent Store instances stand in for the
+// heterogeneous local databases of the multidatabase environments that
+// flexible transactions target (§4.2): each store can unilaterally abort a
+// transaction (deadlock victim) and knows nothing of the others.
+//
+// The paper's §2 observation that "most databases today use Strict 2PL for
+// write operations" is taken literally: this store holds all locks to
+// commit/abort and releases them atomically.
+package txdb

@@ -1,0 +1,302 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrLogClosed is returned by Append on a log that has been closed.
+var ErrLogClosed = errors.New("wal: log closed")
+
+// GroupCommitLog batches appends from many concurrent instances into a
+// single framed write + one fsync per flush. Append blocks until the
+// batch containing its record is on stable storage, so the per-append
+// durability contract is exactly FileLog-with-WithFsync — a nil return
+// means the record survives any crash — while the fsync cost is shared
+// by every record in the batch.
+//
+// Batching is leader-based with commit pipelining: the first appender
+// into an open batch becomes its leader; while the previous batch's
+// fsync is in flight the open batch keeps accumulating followers, so
+// under load the batch size self-tunes to the fsync latency without any
+// timer. GroupWindow adds an optional fixed accumulation window on top
+// (useful when appenders are few and bursty); GroupMaxBatch bounds the
+// batch size and cuts the window short when reached.
+//
+// The on-disk format is unchanged — the same CRC-framed lines FileLog
+// writes — so ReadFileTolerant / RepairFile recover a group-committed
+// log exactly as a per-record one: a crash mid-flush tears at most the
+// final line, and only records of the torn batch (none of which were
+// acknowledged) can be lost. GroupCrashAfter injects such crashes at
+// batch boundaries for the E8 soak.
+//
+// GroupCommitLog is safe for concurrent use.
+type GroupCommitLog struct {
+	inner    *FileLog
+	window   time.Duration
+	maxBatch int
+
+	crashAfter int
+	shortWrite bool
+
+	mu        sync.Mutex // guards cur, closed, crashed, committed, lastBatch
+	cur       *gcBatch
+	closed    bool
+	crashed   bool
+	committed int // records durably committed (crash-injection bookkeeping)
+	lastBatch int // size of the last committed batch (herd estimate)
+
+	commitMu sync.Mutex // held while a batch's write+fsync is in flight
+
+	batches      *obs.Counter   // wal.group.batches
+	records      *obs.Counter   // wal.group.records
+	batchRecords *obs.Histogram // wal.group.batch_records (size buckets)
+	flushNs      *obs.Histogram // wal.group.flush_ns
+}
+
+// gcBatch is one open or in-flight batch. buf holds the framed lines of
+// every record admitted so far; done is closed (after err is set) once
+// the batch is durable or has failed.
+type gcBatch struct {
+	buf      bytes.Buffer
+	count    int
+	full     chan struct{} // closed when count reaches maxBatch
+	fullOnce sync.Once
+	done     chan struct{}
+	err      error
+}
+
+// GroupOption configures a GroupCommitLog.
+type GroupOption func(*GroupCommitLog)
+
+// GroupWindow makes each batch leader wait d for followers before
+// committing. The default (0) relies on commit pipelining alone, which
+// adds no latency when appenders are scarce; a nonzero window trades
+// latency for larger batches.
+func GroupWindow(d time.Duration) GroupOption {
+	return func(l *GroupCommitLog) { l.window = d }
+}
+
+// GroupMaxBatch caps the records per batch (default 64). A full batch
+// stops waiting for its window and commits immediately.
+func GroupMaxBatch(n int) GroupOption {
+	return func(l *GroupCommitLog) {
+		if n > 0 {
+			l.maxBatch = n
+		}
+	}
+}
+
+// GroupWithMetricsRegistry points the log's instrumentation at reg
+// instead of obs.Default.
+func GroupWithMetricsRegistry(reg *obs.Registry) GroupOption {
+	return func(l *GroupCommitLog) { l.bindMetrics(reg) }
+}
+
+// GroupCrashAfter injects a crash at the batch boundary where the
+// cumulative record count would exceed crashAfter: the first crashAfter
+// records may be durably committed, and the batch that would push past
+// the limit fails with ErrCrash before any of it is synced (so none of
+// its appends are acknowledged), as does every later Append. With
+// shortWrite the crashing batch first leaves a torn prefix of its framed
+// data in the file — complete lines plus a cut-off one — which tolerant
+// recovery must discard or keep line-by-line. crashAfter <= 0 never
+// crashes.
+func GroupCrashAfter(crashAfter int, shortWrite bool) GroupOption {
+	return func(l *GroupCommitLog) {
+		l.crashAfter = crashAfter
+		l.shortWrite = shortWrite
+	}
+}
+
+// NewGroupCommitLog wraps inner, taking over its durability: inner's
+// per-append fsync is disabled and every flush is synced at batch
+// granularity instead. The caller must stop using inner directly and
+// close the GroupCommitLog (not inner) when done.
+func NewGroupCommitLog(inner *FileLog, opts ...GroupOption) *GroupCommitLog {
+	inner.mu.Lock()
+	inner.fsync = false
+	inner.mu.Unlock()
+	l := &GroupCommitLog{inner: inner, maxBatch: 64}
+	l.bindMetrics(obs.Default)
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+func (l *GroupCommitLog) bindMetrics(reg *obs.Registry) {
+	l.batches = reg.Counter("wal.group.batches")
+	l.records = reg.Counter("wal.group.records")
+	l.batchRecords = reg.SizeHistogram("wal.group.batch_records")
+	l.flushNs = reg.Histogram("wal.group.flush_ns")
+}
+
+// Append implements Log. It returns only after the batch containing rec
+// has been written and fsynced (nil), or has failed as a unit (the
+// batch's error, ErrCrash under injection, ErrLogClosed after Close).
+func (l *GroupCommitLog) Append(rec Record) error {
+	b, err := Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line := frameLine(b)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrLogClosed
+	}
+	if l.crashed {
+		l.mu.Unlock()
+		return ErrCrash
+	}
+	leader := l.cur == nil
+	if leader {
+		l.cur = &gcBatch{full: make(chan struct{}), done: make(chan struct{})}
+	}
+	batch := l.cur
+	batch.buf.Write(line)
+	batch.buf.WriteByte('\n')
+	batch.count++
+	if batch.count >= l.maxBatch {
+		batch.fullOnce.Do(func() { close(batch.full) })
+	}
+	l.mu.Unlock()
+
+	if !leader {
+		<-batch.done
+		return batch.err
+	}
+	l.commit(batch)
+	return batch.err
+}
+
+// herdWait bounds how long a leader waits for the appenders woken by the
+// previous commit to rejoin (see commit). It must stay well under a disk
+// sync (~100µs+) so the wait is always amortized by the fsync it saves.
+const herdWait = 100 * time.Microsecond
+
+// commit runs on the batch's leader. The batch stays open — followers
+// keep piling in — until the previous batch's fsync releases commitMu
+// (plus the optional window); only then is it detached and flushed.
+func (l *GroupCommitLog) commit(batch *gcBatch) {
+	if l.window > 0 {
+		t := time.NewTimer(l.window)
+		select {
+		case <-t.C:
+		case <-batch.full:
+			t.Stop()
+		}
+	}
+	l.commitMu.Lock()
+
+	// Collect the herd: the previous batch's waiters wake only after it
+	// releases commitMu, so without this they would always miss the batch
+	// now being committed and batch sizes would never grow past the
+	// handful of appenders that happened to arrive mid-sync. Wait — by
+	// yielding, bounded well under one disk sync — until as many records
+	// as the last batch carried have rejoined. A lone sequential appender
+	// (lastBatch <= 1) skips the wait entirely.
+	l.mu.Lock()
+	want := l.lastBatch
+	l.mu.Unlock()
+	if want > 1 {
+		deadline := time.Now().Add(herdWait)
+		for {
+			l.mu.Lock()
+			n := batch.count
+			l.mu.Unlock()
+			if n >= want || n >= l.maxBatch || !time.Now().Before(deadline) {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+
+	l.mu.Lock()
+	l.cur = nil // later appends start a new batch behind this commit
+	l.lastBatch = batch.count
+	crash := l.crashed
+	if !crash && l.crashAfter > 0 && l.committed+batch.count > l.crashAfter {
+		l.crashed = true
+		crash = true
+	}
+	if !crash {
+		l.committed += batch.count
+	}
+	l.mu.Unlock()
+
+	if crash {
+		if l.shortWrite {
+			data := batch.buf.Bytes()
+			n := len(data)/2 + 10
+			if n >= len(data) {
+				n = len(data) - 1
+			}
+			l.inner.writeRaw(data[:n])
+		}
+		batch.err = ErrCrash
+	} else {
+		start := time.Now()
+		batch.err = l.inner.writeBatch(batch.buf.Bytes(), batch.count)
+		if batch.err == nil {
+			l.flushNs.ObserveSince(start)
+			l.batches.Inc()
+			l.records.Add(int64(batch.count))
+			l.batchRecords.Observe(int64(batch.count))
+		}
+	}
+	l.commitMu.Unlock()
+	close(batch.done)
+}
+
+// Close drains the pending batch (hastening any window wait), then
+// flushes, syncs and closes the underlying file. Appends issued after
+// Close return ErrLogClosed. Close is idempotent.
+func (l *GroupCommitLog) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	cur := l.cur
+	l.mu.Unlock()
+	if cur != nil {
+		cur.fullOnce.Do(func() { close(cur.full) })
+		<-cur.done
+	}
+	l.commitMu.Lock()
+	defer l.commitMu.Unlock()
+	return l.inner.Close()
+}
+
+// writeBatch appends pre-framed, newline-terminated lines in one write
+// and makes them durable with a single flush+Sync, counting records
+// appends and bytes as if each line had been appended individually.
+// GroupCommitLog uses it to amortize fsync across a batch.
+func (l *FileLog) writeBatch(data []byte, records int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(data); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	start := time.Now()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.fsyncNs.ObserveSince(start)
+	l.appends.Add(int64(records))
+	l.bytes.Add(int64(len(data)))
+	return nil
+}
