@@ -1,7 +1,7 @@
 // Command wfbench regenerates the evaluation of EXPERIMENTS.md: the
-// correctness experiments E1–E8 that reproduce the paper's figures and
-// appendix traces (plus the WAL crash soaks), and the measurement tables
-// B1–B9.
+// correctness experiments E1–E9 that reproduce the paper's figures and
+// appendix traces (plus the WAL and checkpoint crash soaks), and the
+// measurement tables B1–B10.
 //
 //	wfbench                  # run everything
 //	wfbench -experiment E2   # one correctness experiment
@@ -20,8 +20,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "E1..E8, all, or none")
-	bench := flag.String("bench", "all", "B1..B9, S1, all, or none")
+	exp := flag.String("experiment", "all", "E1..E9, all, or none")
+	bench := flag.String("bench", "all", "B1..B10, S1, all, or none")
 	jsonOut := flag.String("json", "", "write every report as machine-readable JSON (wfbench/v1) to this file")
 	flag.Parse()
 
@@ -32,12 +32,13 @@ func main() {
 
 	experiments := map[string]func() *sim.Report{
 		"E1": sim.RunE1, "E2": sim.RunE2, "E3": sim.RunE3, "E4": sim.RunE4, "E5": sim.RunE5, "E6": sim.RunE6,
-		"E7": sim.RunE7, "E8": sim.RunE8,
+		"E7": sim.RunE7, "E8": sim.RunE8, "E9": sim.RunE9,
 	}
 	benches := map[string]func() *sim.Report{
 		"B1": sim.RunB1, "B2": sim.RunB2, "B3": sim.RunB3, "B4": sim.RunB4,
 		"B5": sim.RunB5, "B6": sim.RunB6, "B7": sim.RunB7, "B8": sim.RunB8, "B9": sim.RunB9,
-		"S1": sim.RunS1,
+		"B10": sim.RunB10,
+		"S1":  sim.RunS1,
 	}
 
 	failed := false
@@ -72,8 +73,8 @@ func main() {
 			}
 		}
 	}
-	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"})
-	run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "S1"})
+	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"})
+	run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "S1"})
 	if bf != nil {
 		if err := bf.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "wfbench: writing %s: %v\n", *jsonOut, err)

@@ -43,6 +43,10 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"zero fleet size", []string{"-n", "0", "x.fdl"}, "-n and -parallel must be >= 1"},
 		{"zero parallel", []string{"-n", "4", "-parallel", "0", "x.fdl"}, "-n and -parallel must be >= 1"},
 		{"bad batch", []string{"-wal", "x.wal", "-group-commit", "-batch", "0", "x.fdl"}, "-flush-ms must be >= 0 and -batch >= 1"},
+		{"resume without wal", []string{"-resume", "x.fdl"}, "-resume requires -wal"},
+		{"checkpoint without wal", []string{"-checkpoint", "ck", "x.fdl"}, "-checkpoint requires -wal"},
+		{"resume with crash-at", []string{"-wal", "x.wal", "-resume", "-crash-at", "3", "x.fdl"}, "-resume is incompatible with -crash-at"},
+		{"checkpoint with crash-at", []string{"-wal", "x.wal", "-checkpoint", "ck", "-crash-at", "3", "x.fdl"}, "-checkpoint is incompatible with -crash-at"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -164,5 +168,104 @@ END 'demo'
 		if n != 6 {
 			t.Errorf("instance %s has %d records, want 6", id, n)
 		}
+	}
+}
+
+// demoFDL writes the two-step demo process used by the resume tests.
+func demoFDL(t *testing.T, dir string) string {
+	t.Helper()
+	fdl := filepath.Join(dir, "p.fdl")
+	src := `PROGRAM 'step'
+END 'step'
+
+PROCESS 'demo' ( 'Default', 'Default' )
+  PROGRAM_ACTIVITY 'A' ( 'Default', 'Default' )
+    PROGRAM 'step'
+  END 'A'
+  PROGRAM_ACTIVITY 'B' ( 'Default', 'Default' )
+    PROGRAM 'step'
+  END 'B'
+  CONTROL FROM 'A' TO 'B'
+END 'demo'
+`
+	if err := os.WriteFile(fdl, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return fdl
+}
+
+// TestResumeAfterCrash crashes a run with -crash-at (which leaves the
+// repaired record prefix on disk — the in-process recovery writes a
+// fresh in-memory log) and then resumes it with -resume: the second
+// invocation must recover the instance from the flat WAL file and run it
+// to completion.
+func TestResumeAfterCrash(t *testing.T) {
+	bin := buildWfrun(t)
+	dir := t.TempDir()
+	fdl := demoFDL(t, dir)
+	walPath := filepath.Join(dir, "run.wal")
+
+	out, err := exec.Command(bin, "-wal", walPath, "-crash-at", "3", fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("crashed run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "crashed after 3 records") {
+		t.Fatalf("first run did not crash:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-resume", "-wal", walPath, fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"repaired " + walPath + ": 3 records kept",
+		"resumed 1 instances (0 already finished in checkpoint): finished=1 failed=0",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("resume output missing %q\n%s", want, s)
+		}
+	}
+}
+
+// TestResumeWithCheckpoint runs a fleet in checkpointed mode (-wal as a
+// segment directory plus -checkpoint and -group-commit) and then resumes
+// from the same directories: the resume must load a checkpoint, account
+// for every instance (recovered or checkpoint-finished), and exit 0.
+func TestResumeWithCheckpoint(t *testing.T) {
+	bin := buildWfrun(t)
+	dir := t.TempDir()
+	fdl := demoFDL(t, dir)
+	segDir := filepath.Join(dir, "segs")
+	ckDir := filepath.Join(dir, "ckpts")
+
+	out, err := exec.Command(bin, "-wal", segDir, "-checkpoint", ckDir,
+		"-group-commit", "-n", "24", "-parallel", "4", fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("checkpointed fleet run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fleet: 24 instances of demo: finished=24 failed=0") {
+		t.Fatalf("fleet summary missing:\n%s", out)
+	}
+	// 24 instances x 6 records with the checkpointer's 64-record rotation
+	// trigger guarantees at least one sealed segment and one checkpoint.
+	cps, err := wal.ListCheckpoints(ckDir)
+	if err != nil || len(cps) == 0 {
+		t.Fatalf("no checkpoint written: %v (%v)", cps, err)
+	}
+
+	out, err = exec.Command(bin, "-resume", "-wal", segDir, "-checkpoint", ckDir, fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "checkpoint seq ") {
+		t.Errorf("resume did not report the checkpoint it used:\n%s", s)
+	}
+	if !strings.Contains(s, "failed=0") {
+		t.Errorf("resume reported failures:\n%s", s)
+	}
+	if !strings.Contains(s, "resumed ") {
+		t.Errorf("resume summary missing:\n%s", s)
 	}
 }

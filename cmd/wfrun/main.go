@@ -32,11 +32,23 @@
 //
 //	wfrun -process travel -wal travel.wal -group-commit -n 64 -parallel 8 -metrics travel.fdl
 //
+// With -checkpoint DIR the -wal path becomes a segment directory: the
+// log rotates into bounded segments and a background checkpointer folds
+// sealed segments into crash-consistent checkpoints, so restart work is
+// bounded by the checkpoint period instead of the history length.
+// -resume recovers every instance from an existing log instead of
+// starting new ones — seeded from the newest usable checkpoint when
+// -checkpoint is given, by full replay otherwise:
+//
+//	wfrun -process travel -n 16 -wal segs/ -checkpoint segs/ -group-commit travel.fdl
+//	wfrun -process travel -resume -wal segs/ -checkpoint segs/ travel.fdl
+//
 // Flag misuse exits 2 (usage), runtime failures exit 1: -fsync,
-// -crash-at and -group-commit require -wal; -flush-ms and -batch require
-// -group-commit; -crash-at is incompatible with -group-commit and with
-// -n > 1 (crash injection is per-record and single-instance — the
-// batch-boundary soak lives in wfbench E8).
+// -crash-at, -group-commit, -resume and -checkpoint require -wal;
+// -flush-ms and -batch require -group-commit; -crash-at is incompatible
+// with -group-commit, with -n > 1, with -resume and with -checkpoint
+// (crash injection is per-record and single-instance — the batch- and
+// checkpoint-boundary soaks live in wfbench E8/E9).
 package main
 
 import (
@@ -76,11 +88,13 @@ func main() {
 	groupCommit := flag.Bool("group-commit", false, "batch WAL appends from concurrent instances into one fsync per flush (requires -wal)")
 	flushMs := flag.Int("flush-ms", 0, "group-commit accumulation window in milliseconds (0 = commit pipelining only; requires -group-commit)")
 	batch := flag.Int("batch", 64, "group-commit max records per batch (requires -group-commit)")
+	resume := flag.Bool("resume", false, "recover every instance from the existing -wal log (and -checkpoint dir) instead of starting a new run")
+	ckptDir := flag.String("checkpoint", "", "checkpoint directory: -wal becomes a segment directory, a background checkpointer bounds restart work, and -resume seeds recovery from the newest checkpoint (requires -wal)")
 	var aborts, abortNs multiFlag
 	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
 	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]]] [-n fleet [-parallel p]] [-metrics] [-metrics-addr :port] [-spans] file.fdl\n")
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir] [-resume]] [-n fleet [-parallel p]] [-metrics] [-metrics-addr :port] [-spans] file.fdl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -112,6 +126,14 @@ func main() {
 		usageError("-crash-at is incompatible with -group-commit (crash injection is per-record; see wfbench E8 for the batch-boundary soak)")
 	case *crashAt > 0 && *fleetN > 1:
 		usageError("-crash-at is incompatible with fleet mode (-n > 1)")
+	case *resume && *walPath == "":
+		usageError("-resume requires -wal")
+	case *ckptDir != "" && *walPath == "":
+		usageError("-checkpoint requires -wal")
+	case *resume && *crashAt > 0:
+		usageError("-resume is incompatible with -crash-at (resume recovers an existing log; -crash-at injects a fresh crash)")
+	case *ckptDir != "" && *crashAt > 0:
+		usageError("-checkpoint is incompatible with -crash-at (the checkpointed crash soak lives in wfbench E9)")
 	}
 	if *metricsAddr != "" {
 		go func() {
@@ -179,37 +201,82 @@ func main() {
 		return e, rec
 	}
 
+	if *resume {
+		resumeRun(build, *walPath, *ckptDir, *trace, *spans, *metrics)
+		return
+	}
+
 	var log wal.Log
 	var flog *wal.FileLog
+	var slog *wal.SegmentedLog
 	var gclog *wal.GroupCommitLog
+	var ckpt *engine.Checkpointer
 	if *walPath != "" {
-		var opts []wal.FileOption
-		if *fsync {
-			opts = append(opts, wal.WithFsync())
-		}
-		flog, err = wal.OpenFileLog(*walPath, opts...)
-		if err != nil {
-			fatal(err)
-		}
-		log = flog
-		if *groupCommit {
-			gclog = wal.NewGroupCommitLog(flog,
-				wal.GroupWindow(time.Duration(*flushMs)*time.Millisecond),
-				wal.GroupMaxBatch(*batch))
-			log = gclog
-		}
-		if *crashAt > 0 {
-			log = wal.NewFaultLog(flog, *crashAt, false)
+		if *ckptDir != "" {
+			// Checkpointed mode: -wal names a segment directory; a
+			// background checkpointer folds sealed segments while the run
+			// executes, so a later -resume replays only the tail.
+			var sopts []wal.SegmentOption
+			if *fsync {
+				sopts = append(sopts, wal.SegmentFsync())
+			}
+			slog, err = wal.OpenSegmentedLog(*walPath, sopts...)
+			if err != nil {
+				fatal(err)
+			}
+			log = slog
+			if *groupCommit {
+				gclog = wal.NewGroupCommitSegmented(slog,
+					wal.GroupWindow(time.Duration(*flushMs)*time.Millisecond),
+					wal.GroupMaxBatch(*batch))
+				log = gclog
+			}
+			ckpt = engine.NewCheckpointer(slog,
+				engine.CheckpointDir(*ckptDir), engine.CheckpointEveryRecords(64))
+			ckpt.Start()
+		} else {
+			var opts []wal.FileOption
+			if *fsync {
+				opts = append(opts, wal.WithFsync())
+			}
+			flog, err = wal.OpenFileLog(*walPath, opts...)
+			if err != nil {
+				fatal(err)
+			}
+			log = flog
+			if *groupCommit {
+				gclog = wal.NewGroupCommitLog(flog,
+					wal.GroupWindow(time.Duration(*flushMs)*time.Millisecond),
+					wal.GroupMaxBatch(*batch))
+				log = gclog
+			}
+			if *crashAt > 0 {
+				log = wal.NewFaultLog(flog, *crashAt, false)
+			}
 		}
 	}
 	closeLog := func() error {
+		// The final checkpoint pass runs before the log closes (it may
+		// rotate the active segment); by now every append has returned, so
+		// nothing is in flight.
+		var err error
+		if ckpt != nil {
+			err = ckpt.Stop()
+		}
 		if gclog != nil {
-			return gclog.Close()
+			if cerr := gclog.Close(); err == nil {
+				err = cerr
+			}
+		} else if slog != nil {
+			if cerr := slog.Close(); err == nil {
+				err = cerr
+			}
+		} else if flog != nil {
+			if cerr := flog.Close(); err == nil {
+				err = cerr
+			}
 		}
-		if flog != nil {
-			return flog.Close()
-		}
-		return nil
+		return err
 	}
 
 	e, rec := build()
@@ -289,6 +356,90 @@ func main() {
 	if *metrics {
 		fmt.Println("-- metrics --")
 		obs.WritePrometheus(os.Stdout, obs.Default)
+	}
+}
+
+// resumeRun recovers every instance recorded in the log a previous
+// (possibly crashed) wfrun left behind and resumes each to completion.
+// With a checkpoint directory, recovery seeds live instances from the
+// newest usable checkpoint and replays only the segment tail — the
+// fallback ladder (previous checkpoint, then full replay) engages
+// automatically when newer checkpoints are damaged.
+func resumeRun(build func() (*engine.Engine, *rm.Recorder), walPath, ckptDir string, trace, spans, metrics bool) {
+	e, rec := build()
+	var insts []*engine.Instance
+	doneN := 0
+	if ckptDir != "" {
+		cp, err := wal.LoadCheckpoint(ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		cover := 0
+		if cp != nil {
+			cover = cp.Cover
+			doneN = len(cp.Done)
+		}
+		tail, dropped, err := wal.RepairSegments(walPath, cover)
+		if err != nil {
+			fatal(err)
+		}
+		if cp != nil {
+			fmt.Printf("checkpoint seq %d covers segments <= %d: %d live records, %d instances already finished; replaying %d tail records (%d bytes truncated)\n",
+				cp.Seq, cp.Cover, len(cp.Records), doneN, len(tail), dropped)
+		} else {
+			fmt.Printf("no usable checkpoint in %s: full replay of %d records (%d bytes truncated)\n",
+				ckptDir, len(tail), dropped)
+		}
+		insts, err = engine.RecoverAllFromCheckpoint(e, cp, tail, nil)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		recs, dropped, err := wal.RepairFile(walPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("repaired %s: %d records kept, %d bytes truncated\n", walPath, len(recs), dropped)
+		insts, err = engine.RecoverAll(e, recs, nil)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	finished, failed := 0, 0
+	for _, inst := range insts {
+		if inst.Finished() {
+			finished++
+		} else {
+			failed++
+		}
+	}
+	if len(insts) == 1 {
+		inst := insts[0]
+		if trace {
+			for _, ev := range inst.Trail() {
+				fmt.Println(ev)
+			}
+		}
+		if spans {
+			fmt.Print(inst.Trace().Render())
+		}
+		if events := rec.Events(); len(events) > 0 {
+			var parts []string
+			for _, e := range events {
+				parts = append(parts, e.String())
+			}
+			fmt.Printf("transactional history: %s\n", strings.Join(parts, " "))
+		}
+		fmt.Printf("output: %s\n", inst.Output())
+	}
+	fmt.Printf("resumed %d instances (%d already finished in checkpoint): finished=%d failed=%d\n",
+		len(insts), doneN, finished, failed)
+	if metrics {
+		fmt.Println("-- metrics --")
+		obs.WritePrometheus(os.Stdout, obs.Default)
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d resumed instances failed", failed))
 	}
 }
 

@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// RecoverFromCheckpoint rebuilds one instance from its checkpointed
+// snapshot records plus the tail records logged after the checkpoint was
+// taken. The snapshot is the instance's compacted history (wal.Compact
+// semantics, produced by wal.BuildCheckpoint), so seeding is the same
+// deterministic re-navigation Recover performs — logged completions are
+// consumed from the replay map without re-invoking programs, and only
+// half-executed activities re-run — but over O(live) records instead of
+// the full history. Compensation ordering is preserved across the
+// snapshot boundary because the compacted records retain every completed
+// iteration's output in causal order.
+func RecoverFromCheckpoint(e *Engine, snapshot, tail []wal.Record, newLog wal.Log) (*Instance, error) {
+	recs := make([]wal.Record, 0, len(snapshot)+len(tail))
+	recs = append(recs, snapshot...)
+	recs = append(recs, tail...)
+	return Recover(e, recs, newLog)
+}
+
+// RecoverAllFromCheckpoint recovers a fleet from a checkpoint plus the
+// replayed tail (the records of segments newer than cp.Cover, e.g. from
+// wal.RepairSegments). Instances live at the checkpoint are seeded from
+// their snapshot records and continued with their tail records; instances
+// created after the checkpoint are recovered from the tail alone;
+// instances in cp.Done finished inside the covered prefix and are not
+// resurrected. A nil cp degrades to RecoverAll over the tail — the bottom
+// rung of the fallback ladder (full replay). newLog, when non-nil,
+// supplies the fresh log for each recovered instance.
+func RecoverAllFromCheckpoint(e *Engine, cp *wal.Checkpoint, tail []wal.Record, newLog func(instanceID string) wal.Log) ([]*Instance, error) {
+	if cp == nil {
+		return RecoverAll(e, tail, newLog)
+	}
+	done := make(map[string]bool, len(cp.Done))
+	for _, id := range cp.Done {
+		done[id] = true
+	}
+	byInst := make(map[string][]wal.Record)
+	var order []string
+	add := func(rec wal.Record) {
+		if _, seen := byInst[rec.Instance]; !seen {
+			order = append(order, rec.Instance)
+		}
+		byInst[rec.Instance] = append(byInst[rec.Instance], rec)
+	}
+	for _, rec := range cp.Records {
+		add(rec)
+	}
+	for _, rec := range tail {
+		if done[rec.Instance] {
+			// A finished instance appends nothing after its RecDone; tail
+			// records here mean the checkpoint and the log disagree.
+			return nil, fmt.Errorf("engine: tail records for instance %s, which the checkpoint marks finished", rec.Instance)
+		}
+		add(rec)
+	}
+	out := make([]*Instance, 0, len(order))
+	for _, id := range order {
+		var log wal.Log
+		if newLog != nil {
+			log = newLog(id)
+		}
+		inst, err := Recover(e, byInst[id], log)
+		if err != nil {
+			return out, fmt.Errorf("engine: recovering %s from checkpoint: %w", id, err)
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}
+
+// Checkpointer periodically folds a SegmentedLog's sealed segments into
+// checkpoints and prunes what they make redundant. Each pass: optionally
+// rotate when the active segment has accumulated enough records
+// (CheckpointEveryRecords), read the segments sealed since the previous
+// checkpoint, write the successor checkpoint (wal.BuildCheckpoint — the
+// same compaction semantics as wal.Compact), keep the newest two
+// checkpoints, and delete the segments wholly covered by the older
+// retained one, so the previous-checkpoint rung of the recovery ladder
+// always has its tail segments on disk.
+//
+// The checkpointer reads only sealed, immutable files and takes the log's
+// lock only for the brief rotate/list/prune calls, so a fleet appending
+// through a GroupCommitLog never stalls behind a checkpoint write.
+type Checkpointer struct {
+	log          *wal.SegmentedLog
+	dir          string
+	interval     time.Duration
+	everyRecords int
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+	err     error
+}
+
+// CheckpointerOption configures a Checkpointer.
+type CheckpointerOption func(*Checkpointer)
+
+// CheckpointInterval sets how often the background loop runs a pass
+// (default 100ms).
+func CheckpointInterval(d time.Duration) CheckpointerOption {
+	return func(c *Checkpointer) {
+		if d > 0 {
+			c.interval = d
+		}
+	}
+}
+
+// CheckpointEveryRecords makes a pass rotate the active segment once it
+// holds at least n records, so long-lived fleets checkpoint by work done
+// rather than wall clock. 0 (the default) never forces a rotation — only
+// segments sealed by the log's own size thresholds are folded in.
+func CheckpointEveryRecords(n int) CheckpointerOption {
+	return func(c *Checkpointer) { c.everyRecords = n }
+}
+
+// CheckpointDir stores checkpoint files in dir instead of the log's own
+// segment directory.
+func CheckpointDir(dir string) CheckpointerOption {
+	return func(c *Checkpointer) { c.dir = dir }
+}
+
+// NewCheckpointer prepares a checkpointer for log. Run passes manually
+// with CheckpointNow, or Start the background loop.
+func NewCheckpointer(log *wal.SegmentedLog, opts ...CheckpointerOption) *Checkpointer {
+	c := &Checkpointer{log: log, dir: log.Dir(), interval: 100 * time.Millisecond}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Dir returns the directory checkpoints are written to.
+func (c *Checkpointer) Dir() string { return c.dir }
+
+// CheckpointNow runs one synchronous pass: rotate if the record trigger
+// fires, fold newly sealed segments into a new checkpoint, and prune. A
+// pass with nothing newly sealed writes nothing and returns nil.
+func (c *Checkpointer) CheckpointNow() error {
+	if c.everyRecords > 0 && c.log.ActiveRecords() >= c.everyRecords {
+		if err := c.log.Rotate(); err != nil {
+			return err
+		}
+	}
+	prev, err := wal.LoadCheckpoint(c.dir)
+	if err != nil {
+		return err
+	}
+	cover := 0
+	if prev != nil {
+		cover = prev.Cover
+	}
+	var recs []wal.Record
+	maxIdx := cover
+	for _, s := range c.log.SealedSegments() {
+		if s.Index <= cover {
+			continue
+		}
+		rs, err := wal.ReadFile(s.Path) // sealed segments are clean: strict read
+		if err != nil {
+			return fmt.Errorf("engine: checkpointing segment %d: %w", s.Index, err)
+		}
+		recs = append(recs, rs...)
+		maxIdx = s.Index
+	}
+	if maxIdx == cover {
+		return nil
+	}
+	cp := wal.BuildCheckpoint(prev, recs, maxIdx)
+	if _, err := wal.WriteCheckpoint(c.dir, cp); err != nil {
+		return err
+	}
+	if _, err := wal.PruneCheckpoints(c.dir, 2); err != nil {
+		return err
+	}
+	if prev != nil {
+		// Retention: segments covered by the *previous* checkpoint are
+		// redundant for both retained rungs; segments in (prev.Cover,
+		// cp.Cover] stay on disk as the previous checkpoint's tail.
+		if _, err := c.log.Prune(prev.Cover); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start launches the background loop. Stop it with Stop.
+func (c *Checkpointer) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.stopped = make(chan struct{})
+	go c.run(c.stop, c.stopped)
+}
+
+func (c *Checkpointer) run(stop, stopped chan struct{}) {
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	defer close(stopped)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if err := c.CheckpointNow(); err != nil {
+				c.mu.Lock()
+				if c.err == nil {
+					c.err = err
+				}
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Stop halts the background loop, runs one final pass (so a clean
+// shutdown leaves a checkpoint covering everything sealed), and returns
+// the first error the loop or the final pass hit.
+func (c *Checkpointer) Stop() error {
+	c.mu.Lock()
+	stop, stopped := c.stop, c.stopped
+	c.stop, c.stopped = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-stopped
+	}
+	err := c.CheckpointNow()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		err = c.err
+		c.err = nil
+	}
+	return err
+}

@@ -1,0 +1,315 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// genFleetHistory runs n instances of the recovery process on one engine,
+// crashing a random subset mid-flight, and returns the per-instance
+// record slices plus a randomized interleaving of them (per-instance
+// order preserved — what a shared group-commit log would hold).
+func genFleetHistory(t *testing.T, r *rand.Rand, n int) (map[string][]wal.Record, []wal.Record) {
+	t.Helper()
+	e, _ := newRecoveryEngine(t)
+	perInst := make(map[string][]wal.Record)
+	var ids []string
+	for i := 0; i < n; i++ {
+		log := &wal.MemLog{}
+		if r.Intn(2) == 0 {
+			log.CrashAfter = 1 + r.Intn(10) // mid-flight at a random point
+		}
+		inst, err := e.CreateInstance("Rec", nil, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Start(); err != nil && !errors.Is(err, wal.ErrCrash) {
+			t.Fatal(err)
+		}
+		perInst[inst.ID()] = log.Records()
+		ids = append(ids, inst.ID())
+	}
+	// Randomized merge: repeatedly pick an instance with records left.
+	pos := make(map[string]int)
+	var merged []wal.Record
+	for {
+		var live []string
+		for _, id := range ids {
+			if pos[id] < len(perInst[id]) {
+				live = append(live, id)
+			}
+		}
+		if len(live) == 0 {
+			break
+		}
+		id := live[r.Intn(len(live))]
+		merged = append(merged, perInst[id][pos[id]])
+		pos[id]++
+	}
+	return perInst, merged
+}
+
+func snapshotsByID(insts []*Instance) map[string]*InstanceSnapshot {
+	out := make(map[string]*InstanceSnapshot, len(insts))
+	for _, inst := range insts {
+		out[inst.ID()] = inst.Snapshot()
+	}
+	return out
+}
+
+// TestCheckpointRecoveryEquivalence is the Compact/checkpoint divergence
+// property test: for randomized interleaved fleet histories, recovery by
+// full replay, recovery over Compact-ed per-instance records, and
+// checkpoint-based recovery (BuildCheckpoint over a random prefix, written
+// to disk and read back, plus tail replay) must reconstruct identical
+// instances.
+func TestCheckpointRecoveryEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		perInst, merged := genFleetHistory(t, r, 3+r.Intn(4))
+
+		// Path A: full replay of the interleaved history.
+		eA, _ := newRecoveryEngine(t)
+		instsA, err := RecoverAll(eA, merged, nil)
+		if err != nil {
+			t.Fatalf("seed %d: full replay: %v", seed, err)
+		}
+		snapA := snapshotsByID(instsA)
+
+		// Path B: Recover(Compact(recs)) per instance.
+		eB, _ := newRecoveryEngine(t)
+		for id, recs := range perInst {
+			inst, err := Recover(eB, wal.Compact(recs), nil)
+			if err != nil {
+				t.Fatalf("seed %d: compacted recover %s: %v", seed, id, err)
+			}
+			if !inst.Snapshot().Equal(snapA[id]) {
+				t.Fatalf("seed %d: Recover(Compact) diverges for %s:\n%+v\nvs\n%+v",
+					seed, id, inst.Snapshot(), snapA[id])
+			}
+		}
+
+		// Path C: checkpoint a random prefix (through the on-disk format),
+		// replay only the tail.
+		k := r.Intn(len(merged) + 1)
+		cp := wal.BuildCheckpoint(nil, merged[:k], 1)
+		dir := t.TempDir()
+		if _, err := wal.WriteCheckpoint(dir, cp); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := wal.LoadCheckpoint(dir)
+		if err != nil || loaded == nil {
+			t.Fatalf("seed %d: reload checkpoint: %v", seed, err)
+		}
+		eC, _ := newRecoveryEngine(t)
+		instsC, err := RecoverAllFromCheckpoint(eC, loaded, merged[k:], nil)
+		if err != nil {
+			t.Fatalf("seed %d: checkpoint recovery (k=%d): %v", seed, k, err)
+		}
+		snapC := snapshotsByID(instsC)
+		doneC := make(map[string]bool)
+		for _, id := range loaded.Done {
+			doneC[id] = true
+		}
+		for id, want := range snapA {
+			got, recovered := snapC[id]
+			switch {
+			case recovered && doneC[id]:
+				t.Fatalf("seed %d: %s both recovered and marked done", seed, id)
+			case doneC[id]:
+				// Finished inside the covered prefix: not resurrected, but it
+				// must indeed have finished.
+				if want.Status != "finished" {
+					t.Fatalf("seed %d: %s marked done but full replay says %s", seed, id, want.Status)
+				}
+			case !recovered:
+				t.Fatalf("seed %d: instance %s lost by checkpoint recovery (k=%d)", seed, id, k)
+			case !got.Equal(want):
+				t.Fatalf("seed %d: checkpoint recovery diverges for %s (k=%d):\n%+v\nvs\n%+v",
+					seed, id, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRecoverAllFromCheckpointNil: a nil checkpoint is the full-replay
+// rung of the ladder.
+func TestRecoverAllFromCheckpointNil(t *testing.T) {
+	_, merged := genFleetHistory(t, rand.New(rand.NewSource(1)), 3)
+	eA, _ := newRecoveryEngine(t)
+	instsA, err := RecoverAll(eA, merged, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eB, _ := newRecoveryEngine(t)
+	instsB, err := RecoverAllFromCheckpoint(eB, nil, merged, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instsA) != len(instsB) {
+		t.Fatalf("recovered %d vs %d", len(instsA), len(instsB))
+	}
+	snapA := snapshotsByID(instsA)
+	for id, got := range snapshotsByID(instsB) {
+		if !got.Equal(snapA[id]) {
+			t.Fatalf("%s diverges", id)
+		}
+	}
+}
+
+// TestCheckpointerRetention drives instances through a segmented log with
+// synchronous checkpoint passes and verifies the retention rules: at most
+// two checkpoints on disk, segments covered by the older one deleted, and
+// ladder recovery (newest checkpoint + tail) reproducing the crash-free
+// state while replaying far fewer records than the full history.
+func TestCheckpointerRetention(t *testing.T) {
+	dir := t.TempDir()
+	slog, err := wal.OpenSegmentedLog(dir, wal.SegmentMaxRecords(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := NewCheckpointer(slog, CheckpointEveryRecords(4))
+
+	e, _ := newRecoveryEngine(t)
+	for i := 0; i < 5; i++ {
+		inst, err := e.CreateInstance("Rec", nil, slog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash a final instance mid-flight.
+	fl := wal.NewSegmentedFaultLog(slog, 3, true)
+	crashInst, err := e.CreateInstance("Rec", nil, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crashInst.Start(); !errors.Is(err, wal.ErrCrash) {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if err := slog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cps, err := wal.ListCheckpoints(dir)
+	if err != nil || len(cps) == 0 || len(cps) > 2 {
+		t.Fatalf("checkpoints on disk: %v err=%v", cps, err)
+	}
+	older, err := wal.ReadCheckpoint(cps[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := wal.ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 2 {
+		for _, s := range segs {
+			if s.Index <= older.Cover {
+				t.Fatalf("segment %d covered by checkpoint %d not pruned", s.Index, older.Seq)
+			}
+		}
+	}
+
+	cp, err := wal.LoadCheckpoint(dir)
+	if err != nil || cp == nil {
+		t.Fatalf("load: %v", err)
+	}
+	tail, _, err := wal.RepairSegments(dir, cp.Cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := newRecoveryEngine(t)
+	insts, err := RecoverAllFromCheckpoint(e2, cp, tail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every instance is accounted for: finished ones either in Done (their
+	// RecDone fell inside the covered prefix) or recovered to completion
+	// from snapshot + tail; the crashed one is re-seeded and finishes with
+	// the baseline trail.
+	if len(insts)+len(cp.Done) != 6 {
+		t.Fatalf("recovered %d + done %d != 6 (done=%v)", len(insts), len(cp.Done), cp.Done)
+	}
+	if len(cp.Done) < 3 {
+		t.Fatalf("checkpoint retained too much: done=%v", cp.Done)
+	}
+	want := baselineTrail(t)
+	foundCrashed := false
+	for _, inst := range insts {
+		if !inst.Finished() {
+			t.Fatalf("recovered instance %s did not finish", inst.ID())
+		}
+		if inst.ID() == crashInst.ID() {
+			foundCrashed = true
+			if fmt.Sprint(trailStrings(inst)) != fmt.Sprint(want) {
+				t.Fatalf("trail diverges:\ngot:  %v\nwant: %v", trailStrings(inst), want)
+			}
+		}
+	}
+	if !foundCrashed {
+		t.Fatal("crashed instance not recovered")
+	}
+	replayed := len(cp.Records) + len(tail)
+	full := 6 * 11 // six instances, eleven records each in a clean history
+	if replayed*2 > full {
+		t.Fatalf("checkpointed recovery replayed %d records; full history is ~%d", replayed, full)
+	}
+}
+
+// TestCheckpointerBackground smoke-tests the Start/Stop loop against a
+// group-committed fleet log: appenders never stall, and Stop leaves a
+// checkpoint covering everything sealed.
+func TestCheckpointerBackground(t *testing.T) {
+	dir := t.TempDir()
+	slog, err := wal.OpenSegmentedLog(dir, wal.SegmentMaxRecords(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := wal.NewGroupCommitSegmented(slog)
+	ck := NewCheckpointer(slog, CheckpointInterval(time.Millisecond), CheckpointEveryRecords(8))
+	ck.Start()
+
+	e, _ := newRecoveryEngine(t)
+	res, err := e.RunFleet(FleetOptions{Process: "Rec", N: 12, Parallel: 4, Log: gl})
+	if err != nil || res.Err != nil || res.Finished != 12 {
+		t.Fatalf("fleet: %+v (%v)", res, err)
+	}
+	if err := ck.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := wal.LoadCheckpoint(dir)
+	if err != nil || cp == nil {
+		t.Fatalf("no checkpoint after Stop: %v", err)
+	}
+	tail, _, err := wal.RepairSegments(dir, cp.Cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := newRecoveryEngine(t)
+	insts, err := RecoverAllFromCheckpoint(e2, cp, tail, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts)+len(cp.Done) != 12 {
+		t.Fatalf("recovered %d + done %d != 12", len(insts), len(cp.Done))
+	}
+	for _, inst := range insts {
+		if !inst.Finished() {
+			t.Fatalf("instance %s not finished after recovery", inst.ID())
+		}
+	}
+}

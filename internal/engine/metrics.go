@@ -33,6 +33,8 @@ type engineMetrics struct {
 
 	fleetQueue  *obs.Gauge // engine.fleet.queue.depth
 	fleetActive *obs.Gauge // engine.fleet.active
+
+	recReplayed *obs.Counter // recover.records_replayed
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
@@ -58,5 +60,6 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		walAppends:   reg.Counter("engine.wal.appends"),
 		fleetQueue:   reg.Gauge("engine.fleet.queue.depth"),
 		fleetActive:  reg.Gauge("engine.fleet.active"),
+		recReplayed:  reg.Counter("recover.records_replayed"),
 	}
 }

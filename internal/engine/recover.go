@@ -45,6 +45,7 @@ func Recover(e *Engine, records []wal.Record, newLog wal.Log) (*Instance, error)
 		return nil, fmt.Errorf("engine: restoring input container: %w", err)
 	}
 
+	e.metrics.recReplayed.Add(int64(len(records)))
 	inst := newInstance(e, created.Instance, p, in, newLog)
 	inst.replay = make(map[string]map[int]map[string]expr.Value)
 	for _, rec := range records[1:] {

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/expr"
@@ -12,13 +13,17 @@ import (
 
 // countingProgram counts real executions per path so recovery tests can
 // verify which activities were replayed from the log vs. re-executed.
+// Fleet tests invoke it from parallel workers, hence the mutex.
 type countingProgram struct {
+	mu   sync.Mutex
 	runs map[string]int
 	rc   func(path string) int64
 }
 
 func (c *countingProgram) Run(inv *Invocation) error {
+	c.mu.Lock()
 	c.runs[inv.Path]++
+	c.mu.Unlock()
 	rc := int64(0)
 	if c.rc != nil {
 		rc = c.rc(inv.Path)

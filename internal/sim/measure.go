@@ -22,10 +22,10 @@ import (
 	"repro/internal/wal"
 )
 
-// RunAllBenchTables runs the B1–B9 harness tables (coarse wall-clock
+// RunAllBenchTables runs the B1–B10 harness tables (coarse wall-clock
 // versions of the bench_test.go benchmarks, for cmd/wfbench).
 func RunAllBenchTables() []*Report {
-	return []*Report{RunB1(), RunB2(), RunB3(), RunB4(), RunB5(), RunB6(), RunB7(), RunB8(), RunB9()}
+	return []*Report{RunB1(), RunB2(), RunB3(), RunB4(), RunB5(), RunB6(), RunB7(), RunB8(), RunB9(), RunB10()}
 }
 
 // Timing is the result of one measured operation: the mean over every

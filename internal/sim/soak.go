@@ -26,6 +26,54 @@ func TravelSaga() *saga.Spec {
 	}
 }
 
+// travelWorkload builds an engine running the travel saga with book_car
+// aborting, so every execution takes the compensation path. Shared by the
+// E7 and E9 soaks.
+func travelWorkload() (*engine.Engine, string) {
+	spec := TravelSaga()
+	e := engine.New()
+	if err := fmtm.RegisterRuntime(e); err != nil {
+		panic(err)
+	}
+	inj := rm.NewInjector()
+	inj.AbortAlways("book_car") // forces the compensation path
+	if err := fmtm.RegisterSaga(e, spec, fmtm.PureSagaBinding(spec), inj, &rm.Recorder{}); err != nil {
+		panic(err)
+	}
+	p, err := fmtm.TranslateSaga(spec, fmtm.SagaOptions{})
+	if err != nil {
+		panic(err)
+	}
+	if err := e.RegisterProcess(p); err != nil {
+		panic(err)
+	}
+	return e, spec.Name
+}
+
+// flexibleWorkload builds an engine running the Figure 3 flexible
+// transaction with T6 aborting (C5 compensates, alternate path via T7).
+// Shared by the E7 and E9 soaks.
+func flexibleWorkload() (*engine.Engine, string) {
+	spec := Fig3Flexible()
+	e := engine.New()
+	if err := fmtm.RegisterRuntime(e); err != nil {
+		panic(err)
+	}
+	inj := rm.NewInjector()
+	inj.AbortAlways("T6")
+	if err := fmtm.RegisterFlexible(e, spec, fmtm.PureFlexibleBinding(spec), inj, &rm.Recorder{}); err != nil {
+		panic(err)
+	}
+	p, err := fmtm.TranslateFlexible(spec)
+	if err != nil {
+		panic(err)
+	}
+	if err := e.RegisterProcess(p); err != nil {
+		panic(err)
+	}
+	return e, spec.Name
+}
+
 // RunE7 is the crash-point soak for the file-backed WAL: run the travel
 // saga and the Figure 3 flexible transaction to completion over a real
 // FileLog, then re-run each workload with a FaultLog that kills the server
@@ -45,46 +93,6 @@ func RunE7() *Report {
 		name string
 		mk   func() (*engine.Engine, string)
 	}
-	mkTravel := func() (*engine.Engine, string) {
-		spec := TravelSaga()
-		e := engine.New()
-		if err := fmtm.RegisterRuntime(e); err != nil {
-			panic(err)
-		}
-		inj := rm.NewInjector()
-		inj.AbortAlways("book_car") // forces the compensation path
-		if err := fmtm.RegisterSaga(e, spec, fmtm.PureSagaBinding(spec), inj, &rm.Recorder{}); err != nil {
-			panic(err)
-		}
-		p, err := fmtm.TranslateSaga(spec, fmtm.SagaOptions{})
-		if err != nil {
-			panic(err)
-		}
-		if err := e.RegisterProcess(p); err != nil {
-			panic(err)
-		}
-		return e, spec.Name
-	}
-	mkFlexible := func() (*engine.Engine, string) {
-		spec := Fig3Flexible()
-		e := engine.New()
-		if err := fmtm.RegisterRuntime(e); err != nil {
-			panic(err)
-		}
-		inj := rm.NewInjector()
-		inj.AbortAlways("T6") // C5 compensates, alternate path via T7
-		if err := fmtm.RegisterFlexible(e, spec, fmtm.PureFlexibleBinding(spec), inj, &rm.Recorder{}); err != nil {
-			panic(err)
-		}
-		p, err := fmtm.TranslateFlexible(spec)
-		if err != nil {
-			panic(err)
-		}
-		if err := e.RegisterProcess(p); err != nil {
-			panic(err)
-		}
-		return e, spec.Name
-	}
 
 	dir, err := os.MkdirTemp("", "wal-soak")
 	if err != nil {
@@ -94,7 +102,7 @@ func RunE7() *Report {
 	}
 	defer os.RemoveAll(dir)
 
-	for _, w := range []workload{{"travel saga abort@book_car", mkTravel}, {"flexible Fig.3 abort@T6", mkFlexible}} {
+	for _, w := range []workload{{"travel saga abort@book_car", travelWorkload}, {"flexible Fig.3 abort@T6", flexibleWorkload}} {
 		path := filepath.Join(dir, "soak.wal")
 
 		// Baseline run over a durable (fsync-on-append) file log.

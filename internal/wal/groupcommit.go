@@ -38,7 +38,7 @@ var ErrLogClosed = errors.New("wal: log closed")
 //
 // GroupCommitLog is safe for concurrent use.
 type GroupCommitLog struct {
-	inner    *FileLog
+	inner    batchLog
 	window   time.Duration
 	maxBatch int
 
@@ -115,14 +115,35 @@ func GroupCrashAfter(crashAfter int, shortWrite bool) GroupOption {
 	}
 }
 
+// batchLog is what group commit needs from its backing log: a durable
+// batched write, raw-byte injection for fault tests, fsync takeover, and
+// Close. FileLog and SegmentedLog both satisfy it.
+type batchLog interface {
+	writeBatch(data []byte, records int) error
+	writeRaw(b []byte) error
+	setFsync(on bool)
+	Close() error
+}
+
 // NewGroupCommitLog wraps inner, taking over its durability: inner's
 // per-append fsync is disabled and every flush is synced at batch
 // granularity instead. The caller must stop using inner directly and
 // close the GroupCommitLog (not inner) when done.
 func NewGroupCommitLog(inner *FileLog, opts ...GroupOption) *GroupCommitLog {
-	inner.mu.Lock()
-	inner.fsync = false
-	inner.mu.Unlock()
+	return newGroupCommit(inner, opts)
+}
+
+// NewGroupCommitSegmented is NewGroupCommitLog over a SegmentedLog:
+// batches amortize fsync exactly as with a FileLog, and the segmented
+// inner log rotates only between batches, so a batch never spans segment
+// files and a crash mid-flush still tears at most the active segment's
+// tail.
+func NewGroupCommitSegmented(inner *SegmentedLog, opts ...GroupOption) *GroupCommitLog {
+	return newGroupCommit(inner, opts)
+}
+
+func newGroupCommit(inner batchLog, opts []GroupOption) *GroupCommitLog {
+	inner.setFsync(false)
 	l := &GroupCommitLog{inner: inner, maxBatch: 64}
 	l.bindMetrics(obs.Default)
 	for _, o := range opts {

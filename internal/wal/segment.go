@@ -1,0 +1,389 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// SegmentInfo identifies one on-disk segment file of a SegmentedLog.
+// Indexes are dense and monotonically increasing; the file with the
+// highest index is the active (append) segment, every lower index is
+// sealed and immutable.
+type SegmentInfo struct {
+	Index int
+	Path  string
+}
+
+// segPath names segment files so lexical order equals index order.
+func segPath(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.seg", index))
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed file's
+// directory entry is on stable storage (the standard crash-consistency
+// step after creating segments or renaming checkpoints into place).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// SegmentedLog is a FileLog split across rotating segment files in one
+// directory. Each segment uses the identical on-disk record format
+// ("crc8hex json\n" lines), so RepairFile works per segment verbatim; a
+// crash can tear at most the tail of the highest-index (active) segment,
+// because rotation seals a segment with a flush+fsync before the next one
+// is created. Rotation happens when the active segment exceeds a record
+// or byte threshold. Sealed segments are immutable, which is what lets a
+// background checkpointer read and later delete them while appenders keep
+// writing — see Checkpoint and engine.Checkpointer.
+//
+// SegmentedLog is safe for concurrent use and implements Log. It also
+// serves as the inner log of a GroupCommitLog (NewGroupCommitSegmented),
+// in which case rotation happens only at batch boundaries, keeping every
+// batch inside a single segment.
+type SegmentedLog struct {
+	mu         sync.Mutex
+	dir        string
+	fsync      bool
+	maxRecords int
+	maxBytes   int64
+	reg        *obs.Registry
+
+	active        *FileLog
+	activeIndex   int
+	activeRecords int
+	activeBytes   int64
+	sealed        []SegmentInfo
+
+	segGauge  *obs.Gauge   // wal.segments.active
+	rotations *obs.Counter // wal.segments.rotations
+}
+
+// SegmentOption configures a SegmentedLog.
+type SegmentOption func(*SegmentedLog)
+
+// SegmentMaxRecords rotates the active segment after n records
+// (default 1024).
+func SegmentMaxRecords(n int) SegmentOption {
+	return func(l *SegmentedLog) {
+		if n > 0 {
+			l.maxRecords = n
+		}
+	}
+}
+
+// SegmentMaxBytes rotates the active segment after n bytes (default 1 MiB).
+func SegmentMaxBytes(n int64) SegmentOption {
+	return func(l *SegmentedLog) {
+		if n > 0 {
+			l.maxBytes = n
+		}
+	}
+}
+
+// SegmentFsync makes every Append durable before it returns, like
+// FileLog's WithFsync.
+func SegmentFsync() SegmentOption {
+	return func(l *SegmentedLog) { l.fsync = true }
+}
+
+// SegmentMetricsRegistry points the log's instrumentation at reg instead
+// of obs.Default.
+func SegmentMetricsRegistry(reg *obs.Registry) SegmentOption {
+	return func(l *SegmentedLog) { l.reg = reg }
+}
+
+// OpenSegmentedLog opens (creating if needed) a segment directory and
+// starts a fresh active segment after any existing ones. Existing
+// segments are never appended to — a reopened log treats them all as
+// sealed, so a previous process's torn tail stays confined to a file
+// that per-segment repair can truncate.
+func OpenSegmentedLog(dir string, opts ...SegmentOption) (*SegmentedLog, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &SegmentedLog{dir: dir, maxRecords: 1024, maxBytes: 1 << 20, reg: obs.Default}
+	for _, o := range opts {
+		o(l)
+	}
+	l.segGauge = l.reg.Gauge("wal.segments.active")
+	l.rotations = l.reg.Counter("wal.segments.rotations")
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.sealed = segs
+	next := 1
+	if len(segs) > 0 {
+		next = segs[len(segs)-1].Index + 1
+	}
+	if err := l.openSegmentLocked(next); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *SegmentedLog) openSegmentLocked(index int) error {
+	opts := []FileOption{WithMetricsRegistry(l.reg)}
+	if l.fsync {
+		opts = append(opts, WithFsync())
+	}
+	f, err := OpenFileLog(segPath(l.dir, index), opts...)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.activeIndex = index
+	l.activeRecords = 0
+	l.activeBytes = 0
+	l.segGauge.Set(int64(len(l.sealed) + 1))
+	return nil
+}
+
+// Append implements Log, rotating afterwards if the active segment
+// crossed a threshold.
+func (l *SegmentedLog) Append(rec Record) error {
+	b, err := Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line := frameLine(b)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return ErrLogClosed
+	}
+	if err := l.active.appendFramed(line); err != nil {
+		return err
+	}
+	l.activeRecords++
+	l.activeBytes += int64(len(line)) + 1
+	return l.maybeRotateLocked()
+}
+
+// writeBatch appends a pre-framed batch to the active segment in one
+// durable write (GroupCommitLog's flush path), rotating afterwards if a
+// threshold was crossed — so a batch never spans segments.
+func (l *SegmentedLog) writeBatch(data []byte, records int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return ErrLogClosed
+	}
+	if err := l.active.writeBatch(data, records); err != nil {
+		return err
+	}
+	l.activeRecords += records
+	l.activeBytes += int64(len(data))
+	return l.maybeRotateLocked()
+}
+
+// writeRaw plants raw bytes in the active segment (fault injection).
+func (l *SegmentedLog) writeRaw(b []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return ErrLogClosed
+	}
+	return l.active.writeRaw(b)
+}
+
+// setFsync flips per-append fsync on the log and its active segment;
+// GroupCommitLog uses it to take over durability at batch granularity.
+func (l *SegmentedLog) setFsync(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fsync = on
+	if l.active != nil {
+		l.active.setFsync(on)
+	}
+}
+
+func (l *SegmentedLog) maybeRotateLocked() error {
+	if l.activeRecords >= l.maxRecords || l.activeBytes >= l.maxBytes {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// Rotate seals the active segment (flush + fsync + close) and opens the
+// next one. A rotation of an empty active segment is a no-op. The engine's
+// Checkpointer rotates before checkpointing so the records it wants to
+// cover sit in sealed, immutable files.
+func (l *SegmentedLog) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return ErrLogClosed
+	}
+	return l.rotateLocked()
+}
+
+func (l *SegmentedLog) rotateLocked() error {
+	if l.activeRecords == 0 {
+		return nil
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	l.sealed = append(l.sealed, SegmentInfo{Index: l.activeIndex, Path: segPath(l.dir, l.activeIndex)})
+	l.rotations.Inc()
+	return l.openSegmentLocked(l.activeIndex + 1)
+}
+
+// Close flushes, syncs and closes the active segment. Further appends
+// return ErrLogClosed. Close is idempotent.
+func (l *SegmentedLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	err := l.active.Close()
+	l.active = nil
+	return err
+}
+
+// Dir returns the segment directory.
+func (l *SegmentedLog) Dir() string { return l.dir }
+
+// SealedSegments returns a snapshot of the sealed (immutable) segments in
+// index order.
+func (l *SegmentedLog) SealedSegments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]SegmentInfo(nil), l.sealed...)
+}
+
+// ActiveRecords reports how many records the active segment holds — the
+// record-count trigger input for engine.Checkpointer.
+func (l *SegmentedLog) ActiveRecords() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.activeRecords
+}
+
+// Prune deletes sealed segments with index <= upto — the retention pass
+// run after a checkpoint has made them redundant. It returns how many
+// files were removed.
+func (l *SegmentedLog) Prune(upto int) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	kept := l.sealed[:0]
+	for _, s := range l.sealed {
+		if s.Index <= upto {
+			if err := os.Remove(s.Path); err != nil && !os.IsNotExist(err) {
+				return removed, fmt.Errorf("wal: %w", err)
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.sealed = kept
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	active := 0
+	if l.active != nil {
+		active = 1
+	}
+	l.segGauge.Set(int64(len(l.sealed) + active))
+	return removed, nil
+}
+
+// ListSegments lists the segment files present in dir, in index order.
+func ListSegments(dir string) ([]SegmentInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []SegmentInfo
+	for _, ent := range ents {
+		var idx int
+		if n, err := fmt.Sscanf(ent.Name(), "wal-%06d.seg", &idx); n != 1 || err != nil {
+			continue
+		}
+		out = append(out, SegmentInfo{Index: idx, Path: filepath.Join(dir, ent.Name())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out, nil
+}
+
+// ReadSegments strictly reads every record in the segments of dir with
+// index > afterIndex, in order. Any torn or corrupt line is an error —
+// recovery uses RepairSegments instead.
+func ReadSegments(dir string, afterIndex int) ([]Record, error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, s := range segs {
+		if s.Index <= afterIndex {
+			continue
+		}
+		recs, err := ReadFile(s.Path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: segment %d: %w", s.Index, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// RepairSegments implements truncate-and-resume recovery across a segment
+// directory: every segment with index > afterIndex is repaired with
+// RepairFile semantics and its surviving records are concatenated in
+// index order. A torn tail is tolerated only where a crash can put one —
+// in the last segment that holds any records (rotation seals earlier
+// segments with an fsync, and a just-rotated empty segment after the torn
+// one is fine); a torn segment followed by records in a later segment is
+// mid-log corruption and is an error. Returns the surviving records and
+// the total bytes truncated.
+func RepairSegments(dir string, afterIndex int) ([]Record, int, error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Record
+	dropped := 0
+	tornAt := -1 // index of a segment that lost a tail
+	for _, s := range segs {
+		if s.Index <= afterIndex {
+			continue
+		}
+		recs, d, err := RepairFile(s.Path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: segment %d: %w", s.Index, err)
+		}
+		if tornAt >= 0 && len(recs) > 0 {
+			return nil, 0, fmt.Errorf("wal: segment %d torn but segment %d has records — mid-log corruption", tornAt, s.Index)
+		}
+		if d > 0 {
+			tornAt = s.Index
+		}
+		dropped += d
+		out = append(out, recs...)
+	}
+	return out, dropped, nil
+}

@@ -155,6 +155,18 @@ func frameLine(body []byte) []byte {
 	return append(out, body...)
 }
 
+// decodeCRC parses the 8-hex-digit checksum prefix of a framed line.
+func decodeCRC(hexDigits []byte) (uint32, error) {
+	var crc [4]byte
+	if _, err := hex.Decode(crc[:], hexDigits); err != nil {
+		return 0, errors.New("wal: malformed record checksum")
+	}
+	return uint32(crc[0])<<24 | uint32(crc[1])<<16 | uint32(crc[2])<<8 | uint32(crc[3]), nil
+}
+
+// crc32Checksum is the CRC-32C of a frame body.
+func crc32Checksum(body []byte) uint32 { return crc32.Checksum(body, crcTable) }
+
 // parseLine decodes one log line. Framed lines ("crc8hex json") are
 // checksum-verified; legacy plain-JSON lines (first byte '{') are accepted
 // unverified so pre-checksum logs stay readable.
@@ -165,13 +177,12 @@ func parseLine(line []byte) (Record, error) {
 	if len(line) < 10 || line[8] != ' ' {
 		return Record{}, errors.New("wal: malformed record frame")
 	}
-	var crc [4]byte
-	if _, err := hex.Decode(crc[:], line[:8]); err != nil {
-		return Record{}, errors.New("wal: malformed record checksum")
+	want, err := decodeCRC(line[:8])
+	if err != nil {
+		return Record{}, err
 	}
 	body := line[9:]
-	want := uint32(crc[0])<<24 | uint32(crc[1])<<16 | uint32(crc[2])<<8 | uint32(crc[3])
-	if got := crc32.Checksum(body, crcTable); got != want {
+	if got := crc32Checksum(body); got != want {
 		return Record{}, fmt.Errorf("wal: record checksum mismatch (want %08x, got %08x)", want, got)
 	}
 	return Unmarshal(body)
@@ -236,9 +247,17 @@ func (l *FileLog) Append(rec Record) error {
 	if err != nil {
 		return err
 	}
+	return l.appendFramed(frameLine(b))
+}
+
+// appendFramed writes one already-framed record line (without its trailing
+// newline), honoring the log's fsync setting and counting metrics.
+// SegmentedLog shares this path so a rotated segment is byte-for-byte what
+// FileLog would have written.
+func (l *FileLog) appendFramed(line []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n, err := l.w.Write(frameLine(b))
+	n, err := l.w.Write(line)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -258,6 +277,14 @@ func (l *FileLog) Append(rec Record) error {
 	l.appends.Inc()
 	l.bytes.Add(int64(n) + 1)
 	return nil
+}
+
+// setFsync flips per-append fsync; GroupCommitLog uses it to take over
+// durability at batch granularity.
+func (l *FileLog) setFsync(on bool) {
+	l.mu.Lock()
+	l.fsync = on
+	l.mu.Unlock()
 }
 
 // writeRaw writes bytes to the file without framing or a trailing newline;
@@ -289,15 +316,22 @@ func (l *FileLog) Close() error {
 	return l.f.Close()
 }
 
-// FaultLog wraps a FileLog and injects a crash at a scripted record
-// boundary, mirroring MemLog.CrashAfter for on-disk logs: the first
-// CrashAfter appends succeed, every later Append returns ErrCrash. With
-// ShortWrite the crashing append first writes a torn prefix of the framed
-// record (no newline) to the file — the on-disk signature of a process
-// dying mid-write — which tolerant recovery must discard.
+// rawLog is the injection surface FaultLog needs: a real append plus the
+// ability to plant raw torn bytes. FileLog and SegmentedLog both satisfy it.
+type rawLog interface {
+	Append(rec Record) error
+	writeRaw(b []byte) error
+}
+
+// FaultLog wraps a FileLog (or SegmentedLog) and injects a crash at a
+// scripted record boundary, mirroring MemLog.CrashAfter for on-disk logs:
+// the first CrashAfter appends succeed, every later Append returns
+// ErrCrash. With ShortWrite the crashing append first writes a torn prefix
+// of the framed record (no newline) to the file — the on-disk signature of
+// a process dying mid-write — which tolerant recovery must discard.
 type FaultLog struct {
 	mu         sync.Mutex
-	inner      *FileLog
+	inner      rawLog
 	crashAfter int
 	shortWrite bool
 	appended   int
@@ -306,6 +340,13 @@ type FaultLog struct {
 
 // NewFaultLog wraps inner. crashAfter <= 0 never crashes.
 func NewFaultLog(inner *FileLog, crashAfter int, shortWrite bool) *FaultLog {
+	return &FaultLog{inner: inner, crashAfter: crashAfter, shortWrite: shortWrite}
+}
+
+// NewSegmentedFaultLog wraps a SegmentedLog with the same crash injection
+// as NewFaultLog; the torn prefix lands in the active segment, so per-
+// segment repair must discard it (the E9 soak in internal/sim).
+func NewSegmentedFaultLog(inner *SegmentedLog, crashAfter int, shortWrite bool) *FaultLog {
 	return &FaultLog{inner: inner, crashAfter: crashAfter, shortWrite: shortWrite}
 }
 
