@@ -1,13 +1,14 @@
 // Command wfbench regenerates the evaluation of EXPERIMENTS.md: the
 // correctness experiments E1–E9 that reproduce the paper's figures and
 // appendix traces (plus the WAL and checkpoint crash soaks), and the
-// measurement tables B1–B10.
+// measurement tables B1–B11.
 //
 //	wfbench                  # run everything
 //	wfbench -experiment E2   # one correctness experiment
 //	wfbench -bench B2        # one measurement table
 //	wfbench -experiment none # measurements only
 //	wfbench -json out.json   # also write a machine-readable wfbench/v1 file
+//	wfbench -flight-dump f.jsonl  # dump the run's event-bus flight recorder
 package main
 
 import (
@@ -16,14 +17,34 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
+// main delegates to realMain so the -flight-dump defer runs before the
+// process exit code is set (os.Exit skips defers).
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	exp := flag.String("experiment", "all", "E1..E9, all, or none")
-	bench := flag.String("bench", "all", "B1..B10, S1, all, or none")
+	bench := flag.String("bench", "all", "B1..B11, S1, all, or none")
 	jsonOut := flag.String("json", "", "write every report as machine-readable JSON (wfbench/v1) to this file")
+	flightDump := flag.String("flight-dump", "", "attach a flight recorder to the default event bus and dump its JSONL here at exit")
 	flag.Parse()
+
+	if *flightDump != "" {
+		rec := obs.NewRecorder(obs.DefaultRecorderSize)
+		obs.DefaultBus.Attach(rec.Record)
+		defer func() {
+			if err := rec.DumpFile(*flightDump); err != nil {
+				fmt.Fprintf(os.Stderr, "wfbench: flight dump: %v\n", err)
+				return
+			}
+			fmt.Printf("wrote %s (%d of %d events retained)\n", *flightDump, rec.Len(), rec.Total())
+		}()
+	}
 
 	var bf *sim.BenchFile
 	if *jsonOut != "" {
@@ -37,11 +58,11 @@ func main() {
 	benches := map[string]func() *sim.Report{
 		"B1": sim.RunB1, "B2": sim.RunB2, "B3": sim.RunB3, "B4": sim.RunB4,
 		"B5": sim.RunB5, "B6": sim.RunB6, "B7": sim.RunB7, "B8": sim.RunB8, "B9": sim.RunB9,
-		"B10": sim.RunB10,
-		"S1":  sim.RunS1,
+		"B10": sim.RunB10, "B11": sim.RunB11,
+		"S1": sim.RunS1,
 	}
 
-	failed := false
+	code := 0
 	run := func(sel string, all map[string]func() *sim.Report, order []string) {
 		switch strings.ToLower(sel) {
 		case "none":
@@ -54,14 +75,15 @@ func main() {
 					bf.Add(rep)
 				}
 				if !rep.Pass {
-					failed = true
+					code = 1
 				}
 			}
 		default:
 			f, ok := all[strings.ToUpper(sel)]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "wfbench: unknown selection %q\n", sel)
-				os.Exit(2)
+				code = 2
+				return
 			}
 			rep := f()
 			fmt.Println(rep)
@@ -69,20 +91,20 @@ func main() {
 				bf.Add(rep)
 			}
 			if !rep.Pass {
-				failed = true
+				code = 1
 			}
 		}
 	}
 	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"})
-	run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "S1"})
-	if bf != nil {
+	if code != 2 {
+		run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "S1"})
+	}
+	if bf != nil && code != 2 {
 		if err := bf.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "wfbench: writing %s: %v\n", *jsonOut, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s (%d reports)\n", *jsonOut, len(bf.Reports))
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return code
 }

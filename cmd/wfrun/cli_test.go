@@ -47,6 +47,10 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"checkpoint without wal", []string{"-checkpoint", "ck", "x.fdl"}, "-checkpoint requires -wal"},
 		{"resume with crash-at", []string{"-wal", "x.wal", "-resume", "-crash-at", "3", "x.fdl"}, "-resume is incompatible with -crash-at"},
 		{"checkpoint with crash-at", []string{"-wal", "x.wal", "-checkpoint", "ck", "-crash-at", "3", "x.fdl"}, "-checkpoint is incompatible with -crash-at"},
+		{"pprof without metrics-addr", []string{"-pprof", "x.fdl"}, "-pprof, -sse-buffer and -linger-ms require -metrics-addr"},
+		{"sse-buffer without metrics-addr", []string{"-sse-buffer", "8", "x.fdl"}, "-pprof, -sse-buffer and -linger-ms require -metrics-addr"},
+		{"linger-ms without metrics-addr", []string{"-linger-ms", "100", "x.fdl"}, "-pprof, -sse-buffer and -linger-ms require -metrics-addr"},
+		{"zero sse-buffer", []string{"-metrics-addr", "127.0.0.1:0", "-sse-buffer", "0", "x.fdl"}, "-sse-buffer must be >= 1 and -linger-ms >= 0"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -19,9 +19,19 @@
 //	wfrun -process travel -abort book_car -wal travel.wal -crash-at 5 travel.fdl
 //
 // Observability: -metrics dumps the engine/WAL metric registry in
-// Prometheus text format after the run, -metrics-addr serves it (plus
-// ?format=json) over HTTP while the run executes, and -spans renders the
-// instance's span tree derived from the audit trail.
+// Prometheus text format after the run and -spans renders the instance's
+// span tree derived from the audit trail. -metrics-addr starts the live
+// ops surface while the run executes: /metrics (plus ?format=json),
+// /healthz (liveness plus WAL/checkpointer staleness), /statusz
+// (per-instance state, fleet gauges, latency quantiles), /events (a
+// Server-Sent-Events tail of the engine/WAL event bus; tune the
+// per-client queue with -sse-buffer) and, with -pprof, /debug/pprof/*.
+// -linger-ms keeps the surface serving that long after the run completes
+// so a monitor attached late still sees it; -flight-recorder FILE dumps
+// the bus's retained event ring as JSONL at exit, success or failure:
+//
+//	wfrun -process travel -n 8 -parallel 4 -metrics-addr :9090 -pprof travel.fdl
+//	wftop -addr localhost:9090
 //
 // Fleet mode executes many instances of the same template concurrently
 // against a bounded scheduler and prints an aggregate summary instead of
@@ -55,7 +65,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -90,11 +99,15 @@ func main() {
 	batch := flag.Int("batch", 64, "group-commit max records per batch (requires -group-commit)")
 	resume := flag.Bool("resume", false, "recover every instance from the existing -wal log (and -checkpoint dir) instead of starting a new run")
 	ckptDir := flag.String("checkpoint", "", "checkpoint directory: -wal becomes a segment directory, a background checkpointer bounds restart work, and -resume seeds recovery from the newest checkpoint (requires -wal)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the ops server (requires -metrics-addr)")
+	sseBuffer := flag.Int("sse-buffer", 256, "per-client event queue depth for the /events SSE tail (requires -metrics-addr)")
+	lingerMs := flag.Int("linger-ms", 0, "keep the ops HTTP surface serving this many milliseconds after the run completes (requires -metrics-addr)")
+	flightPath := flag.String("flight-recorder", "", "dump the flight recorder's retained events as JSONL to this file at exit, success or failure")
 	var aborts, abortNs multiFlag
 	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
 	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir] [-resume]] [-n fleet [-parallel p]] [-metrics] [-metrics-addr :port] [-spans] file.fdl\n")
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir] [-resume]] [-n fleet [-parallel p]] [-metrics] [-metrics-addr :port [-pprof] [-sse-buffer n] [-linger-ms n]] [-flight-recorder file] [-spans] file.fdl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -134,14 +147,41 @@ func main() {
 		usageError("-resume is incompatible with -crash-at (resume recovers an existing log; -crash-at injects a fresh crash)")
 	case *ckptDir != "" && *crashAt > 0:
 		usageError("-checkpoint is incompatible with -crash-at (the checkpointed crash soak lives in wfbench E9)")
+	case *metricsAddr == "" && (*pprofOn || explicit["sse-buffer"] || explicit["linger-ms"]):
+		usageError("-pprof, -sse-buffer and -linger-ms require -metrics-addr")
+	case *sseBuffer < 1 || *lingerMs < 0:
+		usageError("-sse-buffer must be >= 1 and -linger-ms >= 0")
 	}
+
+	// The flight recorder taps the bus whenever something will consume its
+	// ring: a -flight-recorder dump at exit, or the ops server's /events
+	// replay. startOps attaches it from the same tap that tracks WAL
+	// staleness for /healthz.
+	var flightRec *obs.Recorder
+	if *flightPath != "" || *metricsAddr != "" {
+		flightRec = obs.NewRecorder(obs.DefaultRecorderSize)
+	}
+	var ops *opsServer
 	if *metricsAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*metricsAddr, obs.Handler(obs.Default)); err != nil {
-				fmt.Fprintf(os.Stderr, "wfrun: metrics server: %v\n", err)
-			}
-		}()
+		s, err := startOps(obs.Default, obs.DefaultBus, flightRec, *sseBuffer, *pprofOn, *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		ops = s
+	} else if flightRec != nil {
+		obs.DefaultBus.Attach(flightRec.Record)
 	}
+	shutdownOps = func() {
+		if flightRec != nil && *flightPath != "" {
+			if err := flightRec.DumpFile(*flightPath); err != nil {
+				fmt.Fprintf(os.Stderr, "wfrun: flight recorder: %v\n", err)
+			}
+		}
+		if *lingerMs > 0 {
+			time.Sleep(time.Duration(*lingerMs) * time.Millisecond)
+		}
+	}
+	defer shutdownOps()
 
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -183,6 +223,7 @@ func main() {
 		}
 		rec := &rm.Recorder{}
 		e := engine.New()
+		ops.setEngine(e) // nil-safe; /statusz shows the freshest engine
 		for _, prog := range file.Programs {
 			if prog.Name == fmtm.CopyName {
 				if err := fmtm.RegisterRuntime(e); err != nil {
@@ -443,7 +484,14 @@ func resumeRun(build func() (*engine.Engine, *rm.Recorder), walPath, ckptDir str
 	}
 }
 
+// shutdownOps runs on every exit path — the normal return and fatal() —
+// dumping the flight recorder and holding the ops surface through the
+// -linger-ms window so a monitor attached late still sees the run. main
+// replaces the no-op once the recorder and flags are known.
+var shutdownOps = func() {}
+
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "wfrun: %v\n", err)
+	shutdownOps()
 	os.Exit(1)
 }

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// opsServer is the -metrics-addr HTTP surface: the live operational view
+// of a running wfrun. It serves
+//
+//	/metrics  — the obs registry (Prometheus text, ?format=json)
+//	/healthz  — liveness plus WAL/checkpointer staleness
+//	/statusz  — per-instance state, fleet gauges, latency quantiles
+//	/events   — Server-Sent-Events tail of the engine/WAL event bus,
+//	            prefixed with the flight recorder's retained history
+//	/debug/pprof/* — the runtime profiler, only with -pprof
+//
+// The zero-cost contract holds here too: the server observes through one
+// synchronous bus tap (recorder insert + two atomic stamps) and bounded
+// SSE subscriptions, so a slow or absent monitor never stalls the run.
+type opsServer struct {
+	reg       *obs.Registry
+	bus       *obs.Bus
+	rec       *obs.Recorder
+	sseBuffer int
+
+	// eng is set once the engine exists (build happens after the server
+	// starts listening); /statusz serves registry-only data before then.
+	eng atomic.Pointer[engine.Engine]
+
+	// walLast / ckptLast hold the obs.Now() stamp of the most recent
+	// durability event (wal.fsync|wal.flush and wal.checkpoint), 0 when
+	// never seen — the staleness inputs of /healthz.
+	walLast  atomic.Int64
+	ckptLast atomic.Int64
+}
+
+// startOps binds addr, starts serving the ops surface in the background
+// and returns the server. The bound address is announced on stderr
+// ("ops listening on ...") so callers using :0 can find the port. The
+// recorder, when non-nil, is fed from the same tap that tracks
+// staleness.
+func startOps(reg *obs.Registry, bus *obs.Bus, rec *obs.Recorder, sseBuffer int, pprofOn bool, addr string) (*opsServer, error) {
+	s := &opsServer{reg: reg, bus: bus, rec: rec, sseBuffer: sseBuffer}
+	bus.Attach(func(ev obs.Event) {
+		if rec != nil {
+			rec.Record(ev)
+		}
+		switch ev.Kind {
+		case obs.EvWalFsync, obs.EvWalFlush:
+			s.walLast.Store(ev.At)
+		case obs.EvWalCheckpoint:
+			s.ckptLast.Store(ev.At)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops server: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "wfrun: ops listening on %s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, s.mux(pprofOn)); err != nil {
+			fmt.Fprintf(os.Stderr, "wfrun: ops server: %v\n", err)
+		}
+	}()
+	return s, nil
+}
+
+// setEngine publishes the engine to /statusz; called for every engine
+// the run builds (the recovery path builds a second one).
+func (s *opsServer) setEngine(e *engine.Engine) {
+	if s != nil {
+		s.eng.Store(e)
+	}
+}
+
+func (s *opsServer) mux(pprofOn bool) *http.ServeMux {
+	m := http.NewServeMux()
+	m.Handle("/metrics", obs.Handler(s.reg))
+	// PR 2 served the registry at every path; keep "/" as the fallback so
+	// existing scrape configs stay valid.
+	m.Handle("/", obs.Handler(s.reg))
+	m.HandleFunc("/healthz", s.handleHealthz)
+	m.HandleFunc("/statusz", s.handleStatusz)
+	m.HandleFunc("/events", s.handleEvents)
+	if pprofOn {
+		m.HandleFunc("/debug/pprof/", pprof.Index)
+		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	} else {
+		// Explicit 404: without it the "/" metrics fallback would answer
+		// pprof probes with a 200 of Prometheus text.
+		m.HandleFunc("/debug/pprof/", http.NotFound)
+	}
+	return m
+}
+
+func (s *opsServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	idle := func(last int64) int64 {
+		if last == 0 {
+			return -1 // never seen: healthy for configs without that stage
+		}
+		return obs.Now() - last
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(obs.Healthz{
+		OK:               true,
+		UptimeNs:         obs.Now(),
+		WalIdleNs:        idle(s.walLast.Load()),
+		CheckpointIdleNs: idle(s.ckptLast.Load()),
+	})
+}
+
+func (s *opsServer) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	st := obs.StatusOf(s.reg, s.bus)
+	if e := s.eng.Load(); e != nil {
+		infos := e.Instances()
+		st.States = make(map[string]int, 4)
+		st.Instances = make([]obs.StatusInstance, 0, len(infos))
+		for _, in := range infos {
+			st.Instances = append(st.Instances, obs.StatusInstance{
+				ID: in.ID, Process: in.Process, Status: in.Status,
+				Cause: in.Cause, PendingWork: in.PendingWork,
+			})
+			st.States[in.Status]++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+// handleEvents streams the bus as Server-Sent Events: one "data: {json}"
+// frame per event. The flight recorder's retained history is replayed
+// first so a subscriber arriving mid-run (or during the -linger-ms
+// window after it) still sees the run's event sequence in order; the
+// handoff to the live subscription may duplicate an event that lands in
+// both views but never drops one. The subscription queue is bounded
+// (-sse-buffer); a client slower than the publish rate loses events to
+// the bus drop counter rather than stalling the engine.
+func (s *opsServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	send := func(ev obs.Event) bool {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		_, err = fmt.Fprintf(w, "data: %s\n\n", b)
+		return err == nil
+	}
+	sub := s.bus.Subscribe(s.sseBuffer)
+	defer s.bus.Unsubscribe(sub)
+	if s.rec != nil {
+		for _, ev := range s.rec.Events() {
+			if !send(ev) {
+				return
+			}
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-sub.Events():
+			if !send(ev) {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

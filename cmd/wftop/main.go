@@ -1,0 +1,200 @@
+// Command wftop is a terminal fleet monitor for a running wfrun: it
+// polls the ops server's /statusz endpoint and renders a refreshing
+// table of the fleet — instances grouped by state, throughput derived
+// from counter deltas between polls, replay/flush/program latency
+// quantiles, and event-bus health (published/dropped).
+//
+//	wfrun -process travel -n 64 -parallel 8 -metrics-addr :9090 travel.fdl &
+//	wftop -addr localhost:9090
+//
+// When stdout is a terminal each refresh redraws in place (ANSI clear);
+// otherwise frames print sequentially, which keeps the output usable in
+// pipes and test harnesses. -until-done exits 0 once every instance has
+// reached a terminal state ("finished" or "failed"); -timeout bounds the
+// total run. Connection errors are retried until -timeout — wftop may
+// legitimately start before wfrun's listener is up.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9090", "host:port of a running wfrun's -metrics-addr ops server")
+	interval := flag.Duration("interval", 1*time.Second, "poll interval")
+	untilDone := flag.Bool("until-done", false, "exit 0 once every instance is in a terminal state")
+	timeout := flag.Duration("timeout", 0, "give up after this long (0 = run until interrupted)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wftop [-addr host:port] [-interval d] [-until-done] [-timeout d]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	url := "http://" + *addr + "/statusz"
+	client := &http.Client{Timeout: 5 * time.Second}
+	inPlace := redrawsInPlace()
+	deadline := time.Time{}
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
+
+	var prev *obs.Status
+	var prevAt time.Time
+	frame := 0
+	for {
+		st, err := fetchStatus(client, url)
+		now := time.Now()
+		if err != nil {
+			// The server may not be up yet (wftop racing wfrun's startup)
+			// or may have exited; keep retrying until the deadline.
+			fmt.Fprintf(os.Stderr, "wftop: %v\n", err)
+		} else {
+			frame++
+			if inPlace {
+				fmt.Print("\x1b[2J\x1b[H")
+			} else if frame > 1 {
+				fmt.Println(strings.Repeat("-", 72))
+			}
+			render(os.Stdout, *addr, st, prev, now.Sub(prevAt))
+			prev, prevAt = st, now
+			if *untilDone && allTerminal(st) {
+				return
+			}
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			fmt.Fprintln(os.Stderr, "wftop: timeout")
+			os.Exit(1)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// redrawsInPlace reports whether stdout is a terminal, where ANSI
+// clear-and-home redraws beat sequential frames.
+func redrawsInPlace() bool {
+	fi, err := os.Stdout.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func fetchStatus(client *http.Client, url string) (*obs.Status, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var st obs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("%s: %v", url, err)
+	}
+	return &st, nil
+}
+
+func allTerminal(st *obs.Status) bool {
+	if len(st.Instances) == 0 {
+		return false
+	}
+	for _, in := range st.Instances {
+		if in.Status != "finished" && in.Status != "failed" && in.Status != "canceled" {
+			return false
+		}
+	}
+	return true
+}
+
+// maxRows bounds the per-instance table so a large fleet stays readable;
+// the States summary above it always covers everything.
+const maxRows = 32
+
+func render(w *os.File, addr string, st, prev *obs.Status, sincePrev time.Duration) {
+	fmt.Fprintf(w, "wftop  %s  up %s  bus published=%d dropped=%d subscribers=%d\n",
+		addr, (time.Duration(st.UptimeNs) * time.Nanosecond).Round(time.Millisecond),
+		st.Bus.Published, st.Bus.Dropped, st.Bus.Subscribers)
+
+	// Fleet summary: instances by state plus finished/sec over the last
+	// poll interval (counter delta, not a lifetime average).
+	states := make([]string, 0, len(st.States))
+	for s := range st.States {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	parts := make([]string, 0, len(states))
+	total := 0
+	for _, s := range states {
+		parts = append(parts, fmt.Sprintf("%s=%d", s, st.States[s]))
+		total += st.States[s]
+	}
+	tput := ""
+	if prev != nil && sincePrev > 0 {
+		delta := st.Counters["engine.instances.finished"] - prev.Counters["engine.instances.finished"]
+		tput = fmt.Sprintf("  %.1f finished/sec", float64(delta)/sincePrev.Seconds())
+	}
+	fmt.Fprintf(w, "fleet  %d instances  %s%s\n", total, strings.Join(parts, " "), tput)
+	fmt.Fprintf(w, "queues depth=%d active=%d inflight=%d\n",
+		st.Gauges["engine.fleet.queue.depth"].Value,
+		st.Gauges["engine.fleet.active"].Value,
+		st.Gauges["engine.inflight.workers"].Value)
+
+	fmt.Fprintf(w, "\n%-28s %10s %10s %10s %10s\n", "LATENCY", "COUNT", "P50", "P95", "P99")
+	names := make([]string, 0, len(st.Latencies))
+	for n := range st.Latencies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		q := st.Latencies[n]
+		if strings.HasSuffix(n, "ns") || strings.HasSuffix(n, "duration_ns") {
+			fmt.Fprintf(w, "%-28s %10d %10s %10s %10s\n", n, q.Count,
+				fmtNs(q.P50), fmtNs(q.P95), fmtNs(q.P99))
+		} else {
+			fmt.Fprintf(w, "%-28s %10d %10d %10d %10d\n", n, q.Count, q.P50, q.P95, q.P99)
+		}
+	}
+
+	if len(st.Instances) > 0 {
+		fmt.Fprintf(w, "\n%-14s %-16s %-10s %8s  %s\n", "INSTANCE", "PROCESS", "STATUS", "PENDING", "CAUSE")
+		rows := st.Instances
+		trimmed := 0
+		if len(rows) > maxRows {
+			trimmed = len(rows) - maxRows
+			rows = rows[:maxRows]
+		}
+		for _, in := range rows {
+			fmt.Fprintf(w, "%-14s %-16s %-10s %8d  %s\n",
+				in.ID, in.Process, in.Status, in.PendingWork, in.Cause)
+		}
+		if trimmed > 0 {
+			fmt.Fprintf(w, "... and %d more\n", trimmed)
+		}
+	}
+}
+
+// fmtNs renders a nanosecond quantile with a human unit.
+func fmtNs(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

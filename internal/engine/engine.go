@@ -89,6 +89,7 @@ type Engine struct {
 	concurrency int
 	nextID      atomic.Int64
 	metrics     *engineMetrics
+	bus         *obs.Bus
 
 	instMu    sync.Mutex
 	instances []*Instance
@@ -139,6 +140,15 @@ func WithMetrics(reg *obs.Registry) Option {
 	return func(e *Engine) { e.metrics = newEngineMetrics(reg) }
 }
 
+// WithBus points the engine's real-time event publishing at the given
+// bus instead of obs.DefaultBus — tests subscribe to a private bus,
+// embedders can segregate engines. The event taxonomy is listed in
+// DESIGN.md ("Observability"). Publishing costs one atomic load while
+// nothing is subscribed or attached to the bus.
+func WithBus(b *obs.Bus) Option {
+	return func(e *Engine) { e.bus = b }
+}
+
 // New returns an engine with the NOP program pre-registered.
 func New(opts ...Option) *Engine {
 	e := &Engine{
@@ -153,11 +163,17 @@ func New(opts ...Option) *Engine {
 	if e.metrics == nil {
 		e.metrics = newEngineMetrics(obs.Default)
 	}
+	if e.bus == nil {
+		e.bus = obs.DefaultBus
+	}
 	return e
 }
 
 // Metrics returns the registry this engine records into.
 func (e *Engine) Metrics() *obs.Registry { return e.metrics.reg }
+
+// Bus returns the event bus this engine publishes into.
+func (e *Engine) Bus() *obs.Bus { return e.bus }
 
 // RegisterProgram makes a program invocable from program activities. As in
 // FlowMark, "once a program is registered it can be invoked from any
@@ -268,6 +284,7 @@ func (e *Engine) CreateInstance(process string, input map[string]expr.Value, log
 	id := fmt.Sprintf("inst-%d", e.nextID.Add(1))
 	inst := newInstance(e, id, p, in, log)
 	e.metrics.instCreated.Inc()
+	e.bus.Publish(obs.Event{Kind: obs.EvInstanceCreated, Instance: id, Program: process})
 	e.instMu.Lock()
 	e.instances = append(e.instances, inst)
 	e.instMu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -132,10 +133,24 @@ func (e *Engine) RunFleet(opts FleetOptions) (*FleetResult, error) {
 		res.Instances = append(res.Instances, inst)
 		resMu.Unlock()
 		e.metrics.fleetQueue.Add(1)
+		if e.bus.Active() {
+			e.bus.Publish(obs.Event{Kind: obs.EvFleetEnqueue, Instance: inst.ID(),
+				N: e.metrics.fleetQueue.Value()})
+		}
 		sched.Submit(func() {
 			e.metrics.fleetQueue.Add(-1)
 			e.metrics.fleetActive.Add(1)
-			defer e.metrics.fleetActive.Add(-1)
+			if e.bus.Active() {
+				e.bus.Publish(obs.Event{Kind: obs.EvFleetActive, Instance: inst.ID(),
+					N: e.metrics.fleetActive.Value()})
+			}
+			defer func() {
+				e.metrics.fleetActive.Add(-1)
+				if e.bus.Active() {
+					e.bus.Publish(obs.Event{Kind: obs.EvFleetDone, Instance: inst.ID(),
+						N: e.metrics.fleetActive.Value()})
+				}
+			}()
 			err := inst.Start()
 			if err == nil && inst.Finished() {
 				resMu.Lock()

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/org"
 	"repro/internal/wal"
 )
@@ -77,6 +78,16 @@ type actState struct {
 	output *model.Container
 	workID int64
 	forced bool // the current completion was forced by a user (no program ran)
+
+	// Monotonic phase stamps for live latency attribution (obs.Now
+	// nanoseconds): readyNs is when the activity last became ready, so
+	// dispatch events carry the queue wait; progNs is the last program
+	// invocation's wall time, carried on the finish event. progNs is
+	// written by executeAttempts (a worker goroutine in concurrent mode)
+	// and read by finishActivity after the completion channel
+	// synchronizes the two.
+	readyNs int64
+	progNs  int64
 }
 
 func (as *actState) path() string {
@@ -472,6 +483,56 @@ func (inst *Instance) appendLog(rec wal.Record) {
 func (inst *Instance) event(ev Event) {
 	ev.At = inst.eng.clock()
 	inst.trail = append(inst.trail, ev)
+	inst.publishTrail(ev)
+}
+
+// compensationActivityName is the well-known name the Figure 2/4
+// translations give the compensation block (internal/fmtm); dispatching
+// a block by this name is the observable "compensation entered" moment.
+const compensationActivityName = "Compensation"
+
+// publishTrail mirrors the externally interesting audit-trail events
+// onto the engine's real-time bus, enriched with the monotonic phase
+// stamps that trail events (wall-clock seconds) cannot carry. It is a
+// single atomic load when nothing is listening.
+func (inst *Instance) publishTrail(ev Event) {
+	bus := inst.eng.bus
+	if !bus.Active() {
+		return
+	}
+	switch ev.Kind {
+	case EvCreated:
+		bus.Publish(obs.Event{Kind: obs.EvInstanceStarted, Instance: inst.id})
+	case EvStarted:
+		var wait int64
+		as := inst.byPath[ev.Path]
+		if as != nil && as.readyNs > 0 {
+			wait = obs.Now() - as.readyNs
+		}
+		bus.Publish(obs.Event{Kind: obs.EvActivityDispatch, Instance: inst.id,
+			Path: ev.Path, Iter: ev.Iter, Program: ev.Program, DurNs: wait})
+		if as != nil && as.act.Kind == model.KindBlock && as.act.Name == compensationActivityName {
+			bus.Publish(obs.Event{Kind: obs.EvCompensation, Instance: inst.id, Path: ev.Path, Iter: ev.Iter})
+		}
+	case EvFinished:
+		var dur int64
+		if as := inst.byPath[ev.Path]; as != nil {
+			dur = as.progNs
+		}
+		bus.Publish(obs.Event{Kind: obs.EvActivityFinished, Instance: inst.id,
+			Path: ev.Path, Iter: ev.Iter, Program: ev.Program, RC: ev.RC, DurNs: dur})
+	case EvLooped:
+		bus.Publish(obs.Event{Kind: obs.EvActivityLoop, Instance: inst.id, Path: ev.Path, Iter: ev.Iter})
+	case EvDeadPath:
+		bus.Publish(obs.Event{Kind: obs.EvActivityDeadPath, Instance: inst.id, Path: ev.Path, Iter: ev.Iter})
+	case EvFailed:
+		bus.Publish(obs.Event{Kind: obs.EvInstanceFailed, Instance: inst.id,
+			Path: ev.Path, Iter: ev.Iter, Program: ev.Program, Cause: ev.Cause})
+	case EvDone:
+		bus.Publish(obs.Event{Kind: obs.EvInstanceFinished, Instance: inst.id})
+	case EvCanceled:
+		bus.Publish(obs.Event{Kind: obs.EvInstanceCanceled, Instance: inst.id})
+	}
 }
 
 func (inst *Instance) enqueue(as *actState) {
@@ -543,6 +604,7 @@ func (inst *Instance) startScope(sc *scope) {
 
 func (inst *Instance) setReady(as *actState) {
 	as.state = StateReady
+	as.readyNs = obs.Now()
 	inst.event(Event{Kind: EvReady, Path: as.path(), Iter: as.iter})
 	if as.act.Start == model.StartManual {
 		inst.postWork(as)
@@ -689,7 +751,8 @@ func (inst *Instance) executeAttempts(prog Program, as *actState, in *model.Cont
 			} else {
 				m.aborted.Inc()
 			}
-			m.programNs.ObserveSince(start)
+			as.progNs = time.Since(start).Nanoseconds()
+			m.programNs.Observe(as.progNs)
 			return out, nil
 		} else {
 			lastErr = err
@@ -697,19 +760,33 @@ func (inst *Instance) executeAttempts(prog Program, as *actState, in *model.Cont
 		var pe *PanicError
 		if errors.As(lastErr, &pe) {
 			m.panics.Inc()
+			if bus := inst.eng.bus; bus.Active() {
+				bus.Publish(obs.Event{Kind: obs.EvActivityPanic, Instance: inst.id,
+					Path: as.path(), Iter: as.iter, Program: as.act.Program,
+					N: int64(attempt), Cause: lastErr.Error()})
+			}
 		}
 		if !IsTransient(lastErr) || attempt == budget {
 			break
 		}
+		var backoff time.Duration
 		if rp := as.act.Retry; rp != nil && rp.BackoffMS > 0 {
-			backoff := time.Duration(rp.BackoffMS<<(attempt-1)) * time.Millisecond
+			backoff = time.Duration(rp.BackoffMS<<(attempt-1)) * time.Millisecond
 			m.backoffNs.Observe(backoff.Nanoseconds())
+		}
+		if bus := inst.eng.bus; bus.Active() {
+			bus.Publish(obs.Event{Kind: obs.EvActivityRetry, Instance: inst.id,
+				Path: as.path(), Iter: as.iter, Program: as.act.Program,
+				N: int64(attempt), DurNs: backoff.Nanoseconds(), Cause: lastErr.Error()})
+		}
+		if backoff > 0 {
 			inst.eng.sleep(backoff)
 		}
 	}
 	m.invocations.Inc()
 	m.progFailed.Inc()
-	m.programNs.ObserveSince(start)
+	as.progNs = time.Since(start).Nanoseconds()
+	m.programNs.Observe(as.progNs)
 	return nil, &ActivityFailure{
 		Path: as.path(), Program: as.act.Program, Iter: as.iter,
 		Attempts: attempts, Cause: lastErr,

@@ -151,6 +151,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -159,7 +160,24 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp attaches a help string to the named instrument; the Prometheus
+// exposition emits it as a # HELP line (with the 0.0.4 escaping applied
+// at render time, so the text may contain backslashes and newlines).
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Help returns the help string attached to name ("" when unset).
+func (r *Registry) Help(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
 }
 
 // Default is the process-wide registry. The engine and the WAL record here
@@ -284,23 +302,31 @@ func (r *Registry) Snapshot() *Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
 		for name, h := range r.hists {
-			hs := HistogramSnapshot{Count: h.Count(), SumNs: h.Sum(), MaxNs: h.max.Load()}
-			if min := h.min.Load(); hs.Count > 0 && min != math.MaxInt64 {
-				hs.MinNs = min
-			}
-			bounds := h.bounds
-			if bounds == nil {
-				bounds = DefaultBuckets
-			}
-			hs.Buckets = make([]BucketSnapshot, 0, len9)
-			for i, le := range bounds {
-				hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: le, Count: h.counts[i].Load()})
-			}
-			hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: -1, Count: h.counts[len9-1].Load()})
-			s.Histograms[name] = hs
+			s.Histograms[name] = h.SnapshotNow()
 		}
 	}
 	return s
+}
+
+// SnapshotNow freezes this histogram's current state (the same view
+// Registry.Snapshot embeds). Buckets are read with individual atomic
+// loads, so a snapshot taken under concurrent writers is a monitoring
+// view, not a transaction.
+func (h *Histogram) SnapshotNow() HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.Count(), SumNs: h.Sum(), MaxNs: h.max.Load()}
+	if min := h.min.Load(); hs.Count > 0 && min != math.MaxInt64 {
+		hs.MinNs = min
+	}
+	bounds := h.bounds
+	if bounds == nil {
+		bounds = DefaultBuckets
+	}
+	hs.Buckets = make([]BucketSnapshot, 0, len9)
+	for i, le := range bounds {
+		hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: le, Count: h.counts[i].Load()})
+	}
+	hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: -1, Count: h.counts[len9-1].Load()})
+	return hs
 }
 
 // CounterNames returns the registered counter names, sorted.

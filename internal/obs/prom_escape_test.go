@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusHelpEscaping is the golden test of the 0.0.4 text
+// exposition with hostile help strings: backslashes, embedded newlines
+// and quotes must be escaped so the output stays line-oriented.
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("evil.counter").Add(7)
+	r.SetHelp("evil.counter", "path C:\\wal\nsecond line with \"quotes\"")
+	r.Gauge("plain.gauge").Set(3)
+	r.SetHelp("plain.gauge", "a well-behaved help string")
+	h := r.Histogram("evil.hist")
+	h.Observe(500)
+	r.SetHelp("evil.hist", `ends with a backslash \`)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := []string{
+		`# HELP evil_counter path C:\\wal\nsecond line with "quotes"`,
+		"# TYPE evil_counter counter",
+		"evil_counter 7",
+		"# HELP plain_gauge a well-behaved help string",
+		"# TYPE plain_gauge gauge",
+		"plain_gauge 3",
+		`# HELP evil_hist ends with a backslash \\`,
+		"# TYPE evil_hist histogram",
+		`evil_hist_bucket{le="1000"} 1`,
+		`evil_hist_bucket{le="+Inf"} 1`,
+		"evil_hist_count 1",
+	}
+	for _, want := range golden {
+		if !strings.Contains(got, want+"\n") {
+			t.Fatalf("exposition missing line %q:\n%s", want, got)
+		}
+	}
+	// The escaping must keep every HELP comment on one physical line: a
+	// raw newline inside help text would start a bogus exposition line.
+	for _, line := range strings.Split(got, "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "evil_") && !strings.HasPrefix(line, "plain_") {
+			t.Fatalf("stray exposition line %q (unescaped newline?)", line)
+		}
+	}
+	// Instruments without registered help get no HELP line at all.
+	r2 := NewRegistry()
+	r2.Counter("quiet").Inc()
+	sb.Reset()
+	if err := WritePrometheus(&sb, r2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "# HELP") {
+		t.Fatalf("unexpected HELP line:\n%s", sb.String())
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{"a\nb", `a\nb`},
+		{`say "hi"`, `say \"hi\"`},
+		{`back\slash`, `back\\slash`},
+		{"\\\n\"", `\\\n\"`},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// escapeHelp leaves quotes alone — HELP text is not quoted.
+	if got := escapeHelp("a \"quoted\"\nword\\"); got != "a \"quoted\"\\nword\\\\" {
+		t.Errorf("escapeHelp = %q", got)
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+// Quantile estimates the value at quantile q (0 ≤ q ≤ 1, e.g. 0.5 for
+// the median, 0.99 for p99) from the snapshot's buckets, in the
+// histogram's native unit (nanoseconds for latency histograms, a count
+// for size histograms).
+//
+// The estimate interpolates linearly inside the bucket that contains the
+// target rank, the standard fixed-bucket estimator (what Prometheus'
+// histogram_quantile computes server-side). Because the decade/size
+// bucket bounds are coarse the estimate is coarse too — accurate to the
+// containing bucket, not beyond — but it is monotone in q and exact at
+// the recorded Min/Max extremes, which the estimator uses to tighten the
+// first and +Inf buckets. An empty histogram reports 0.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.MinNs
+	}
+	if q >= 1 {
+		return h.MaxNs
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	lower := float64(h.MinNs)
+	for _, b := range h.Buckets {
+		upper := float64(b.LE)
+		if b.LE < 0 || upper > float64(h.MaxNs) {
+			// The +Inf bucket — and any bucket beyond the recorded
+			// maximum — cannot contain values above MaxNs.
+			upper = float64(h.MaxNs)
+		}
+		if upper < lower {
+			upper = lower
+		}
+		if b.Count > 0 {
+			if cum+float64(b.Count) >= rank {
+				frac := (rank - cum) / float64(b.Count)
+				v := int64(lower + frac*(upper-lower))
+				if v < h.MinNs {
+					v = h.MinNs
+				}
+				if v > h.MaxNs {
+					v = h.MaxNs
+				}
+				return v
+			}
+			cum += float64(b.Count)
+		}
+		if upper > lower {
+			lower = upper
+		}
+	}
+	return h.MaxNs
+}
+
+// Quantile estimates the value at quantile q from the histogram's
+// current state; see HistogramSnapshot.Quantile for the estimator.
+func (h *Histogram) Quantile(q float64) int64 { return h.SnapshotNow().Quantile(q) }

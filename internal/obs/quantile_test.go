@@ -1,0 +1,126 @@
+package obs
+
+import "testing"
+
+func TestQuantileUniformDecade(t *testing.T) {
+	// 100 observations spread uniformly over (1ms, 10ms]: every value
+	// lands in the 10ms bucket, so the estimator interpolates between
+	// the recorded min and the bucket bound.
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i) * 90_000) // 90µs steps: 90µs..9ms
+	}
+	// Observations span two buckets: 1ms (11 values ≤ 1ms) and 10ms (89).
+	p50 := h.Quantile(0.50)
+	if p50 < 1_000_000 || p50 > 6_000_000 {
+		t.Fatalf("p50 = %d, want within (1ms, 6ms]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= p50 || p99 > 9_000_000 {
+		t.Fatalf("p99 = %d, want (p50, 9ms]", p99)
+	}
+}
+
+func TestQuantileSingleBucketInterpolatesMinMax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// All observations in the 100µs bucket, min 20µs, max 80µs: the
+	// estimator must stay inside [min, max], not report the 100µs bound.
+	for _, ns := range []int64{20_000, 40_000, 60_000, 80_000} {
+		h.Observe(ns)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := h.Quantile(q)
+		if v < 20_000 || v > 80_000 {
+			t.Fatalf("q=%v: %d outside [min, max]", q, v)
+		}
+	}
+	if p0 := h.Quantile(0); p0 != 20_000 {
+		t.Fatalf("q=0: %d, want min", p0)
+	}
+	if p100 := h.Quantile(1); p100 != 80_000 {
+		t.Fatalf("q=1: %d, want max", p100)
+	}
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 90 fast observations at 5µs, 10 slow at 500ms: p50 must sit in the
+	// fast mode's bucket, p95/p99 in the slow mode's.
+	for i := 0; i < 90; i++ {
+		h.Observe(5_000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500_000_000)
+	}
+	if p50 := h.Quantile(0.50); p50 > 10_000 {
+		t.Fatalf("p50 = %d, want in the 10µs bucket", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 < 100_000_000 || p95 > 500_000_000 {
+		t.Fatalf("p95 = %d, want in the slow mode", p95)
+	}
+	if p99 := h.Quantile(0.99); p99 < h.Quantile(0.95) || p99 > 500_000_000 {
+		t.Fatalf("p99 = %d, want ≥ p95 and ≤ max", p99)
+	}
+}
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, ns := range []int64{500, 5_000, 50_000, 500_000, 5_000_000, 50_000_000, 500_000_000, 5_000_000_000, 50_000_000_000} {
+		h.Observe(ns) // one observation per bucket including +Inf
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %d < %d", q, v, prev)
+		}
+		prev = v
+	}
+	// The +Inf bucket must be capped at the recorded max, not infinity.
+	if p99 := h.Quantile(0.99); p99 > 50_000_000_000 {
+		t.Fatalf("p99 = %d exceeds max", p99)
+	}
+}
+
+func TestQuantileSizeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.SizeHistogram("batch")
+	// Batch sizes: 50× size 1, 30× size 6, 20× size 40.
+	for i := 0; i < 50; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(6)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(40)
+	}
+	if p50 := h.Quantile(0.50); p50 != 1 {
+		t.Fatalf("p50 = %d, want 1", p50)
+	}
+	if p95 := h.Quantile(0.95); p95 < 32 || p95 > 40 {
+		t.Fatalf("p95 = %d, want in (32, 40]", p95)
+	}
+}
+
+func TestQuantileEmptyAndEdge(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	if v := h.Quantile(0.5); v != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", v)
+	}
+	h.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 42 {
+			t.Fatalf("single observation q=%v: %d, want 42", q, v)
+		}
+	}
+	var snap HistogramSnapshot
+	if v := snap.Quantile(0.5); v != 0 {
+		t.Fatalf("zero snapshot quantile = %d", v)
+	}
+}

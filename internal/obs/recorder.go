@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Recorder is a fixed-size ring-buffer flight recorder: it retains the
+// last N events and dumps them as JSONL on demand (or on failure — the
+// CLIs dump it when a run fails). Attach it to a Bus synchronously so it
+// never misses an event:
+//
+//	rec := obs.NewRecorder(1024)
+//	detach := bus.Attach(rec.Record)
+//	defer detach()
+//
+// The ring insert is a mutex-guarded copy of one small struct, cheap
+// enough to sit on the publish path (B11 gates the overhead at <5%).
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int   // index of the next slot to overwrite
+	total int64 // events ever recorded
+}
+
+// DefaultRecorderSize is the ring capacity used by the CLIs when the
+// caller does not choose one: enough to hold the full event tail of a
+// mid-size fleet while staying a few hundred KB of memory.
+const DefaultRecorderSize = 4096
+
+// NewRecorder returns a recorder retaining the last n events (minimum 1).
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{ring: make([]Event, 0, n)}
+}
+
+// Record inserts ev, evicting the oldest retained event when full. It is
+// safe for concurrent use and has the signature Bus.Attach expects.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[r.next] = ev
+		r.next = (r.next + 1) % cap(r.ring)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len reports how many events are currently retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ring)
+}
+
+// Total reports how many events were ever recorded, including evicted
+// ones; Total-Len is the number lost to the ring bound.
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events oldest-first. The slice is a copy;
+// the caller may keep it.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.ring))
+	if len(r.ring) == cap(r.ring) {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	} else {
+		out = append(out, r.ring...)
+	}
+	return out
+}
+
+// DumpJSONL writes the retained events oldest-first, one JSON object per
+// line — the flight-recorder dump format consumed by post-mortem
+// tooling and uploaded as a CI artifact for soak runs.
+func (r *Recorder) DumpJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpFile writes the JSONL dump to path, truncating any existing file.
+func (r *Recorder) DumpFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.DumpJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

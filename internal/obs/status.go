@@ -1,0 +1,104 @@
+package obs
+
+// This file defines the wire types of cmd/wfrun's /statusz endpoint.
+// They live in obs (not cmd/wfrun) so cmd/wftop decodes the same structs
+// the server encodes — the schema cannot drift between the two binaries.
+
+// Status is the /statusz JSON payload: a point-in-time operational view
+// of a running wfrun process — per-instance state, fleet gauges,
+// latency quantiles derived from histogram snapshots, and event-bus
+// health. It complements /metrics (raw instruments) with the digested
+// view a fleet monitor renders directly.
+type Status struct {
+	// UptimeNs is monotonic nanoseconds since process start (obs.Now).
+	UptimeNs int64 `json:"uptime_ns"`
+	// Instances lists every instance the engine has created, in creation
+	// order.
+	Instances []StatusInstance `json:"instances,omitempty"`
+	// States counts instances by status ("created", "running",
+	// "finished", "failed", "canceled").
+	States map[string]int `json:"states,omitempty"`
+	// Counters and Gauges are the registry's current counter values and
+	// gauge snapshots (same keys as the metrics snapshot).
+	Counters map[string]int64         `json:"counters,omitempty"`
+	Gauges   map[string]GaugeSnapshot `json:"gauges,omitempty"`
+	// Latencies maps histogram names to their quantile digests.
+	Latencies map[string]LatencyQuantiles `json:"latencies,omitempty"`
+	// Bus reports event-bus throughput and drop health.
+	Bus BusStatus `json:"bus"`
+}
+
+// StatusInstance is one process instance's state in the /statusz payload.
+type StatusInstance struct {
+	ID      string `json:"id"`
+	Process string `json:"process"`
+	Status  string `json:"status"`
+	Cause   string `json:"cause,omitempty"`
+	// PendingWork is the number of posted-but-unfinished worklist items.
+	PendingWork int `json:"pending_work,omitempty"`
+}
+
+// LatencyQuantiles is the digested view of one histogram: observation
+// count and interpolated p50/p95/p99 (see HistogramSnapshot.Quantile),
+// in the histogram's native unit.
+type LatencyQuantiles struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50"`
+	P95   int64 `json:"p95"`
+	P99   int64 `json:"p99"`
+}
+
+// QuantilesOf digests a histogram snapshot into its quantile summary.
+func QuantilesOf(h HistogramSnapshot) LatencyQuantiles {
+	return LatencyQuantiles{
+		Count: h.Count,
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// BusStatus is the event-bus health block of the /statusz payload.
+type BusStatus struct {
+	Published   int64 `json:"published"`
+	Dropped     int64 `json:"dropped"`
+	Subscribers int   `json:"subscribers"`
+}
+
+// StatusOf assembles the registry- and bus-derived parts of a Status:
+// counters, gauges, latency quantiles for every histogram, bus health
+// and uptime. The caller (cmd/wfrun) fills in Instances and States from
+// the engine, which obs cannot import.
+func StatusOf(r *Registry, bus *Bus) *Status {
+	snap := r.Snapshot()
+	st := &Status{
+		UptimeNs: Now(),
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+	}
+	if len(snap.Histograms) > 0 {
+		st.Latencies = make(map[string]LatencyQuantiles, len(snap.Histograms))
+		for name, h := range snap.Histograms {
+			st.Latencies[name] = QuantilesOf(h)
+		}
+	}
+	if bus != nil {
+		st.Bus = BusStatus{
+			Published:   bus.Published(),
+			Dropped:     bus.Dropped(),
+			Subscribers: bus.Subscribers(),
+		}
+	}
+	return st
+}
+
+// Healthz is the /healthz JSON payload: liveness plus staleness of the
+// durability pipeline. WalIdleNs / CheckpointIdleNs are nanoseconds
+// since the last wal.flush|wal.fsync and wal.checkpoint event (-1 when
+// never seen, which is healthy for configurations without that stage).
+type Healthz struct {
+	OK               bool  `json:"ok"`
+	UptimeNs         int64 `json:"uptime_ns"`
+	WalIdleNs        int64 `json:"wal_idle_ns"`
+	CheckpointIdleNs int64 `json:"checkpoint_idle_ns"`
+}

@@ -163,7 +163,11 @@ func WriteCheckpoint(dir string, cp *Checkpoint) (string, error) {
 	}
 	obs.Default.Counter("wal.checkpoint.writes").Inc()
 	obs.Default.Counter("wal.checkpoint.bytes").Add(int64(buf.Len()))
-	obs.Default.Histogram("wal.checkpoint.duration_ns").ObserveSince(start)
+	dur := time.Since(start).Nanoseconds()
+	obs.Default.Histogram("wal.checkpoint.duration_ns").Observe(dur)
+	if obs.DefaultBus.Active() {
+		obs.DefaultBus.Publish(obs.Event{Kind: obs.EvWalCheckpoint, N: int64(cp.Seq), DurNs: dur})
+	}
 	return path, nil
 }
 
@@ -276,6 +280,10 @@ func LoadCheckpoint(dir string) (*Checkpoint, error) {
 			return cp, nil
 		}
 		obs.Default.Counter("recover.checkpoint_fallbacks").Inc()
+		if obs.DefaultBus.Active() {
+			obs.DefaultBus.Publish(obs.Event{Kind: obs.EvWalCheckpointFallback,
+				N: int64(infos[i].Seq), Cause: err.Error()})
+		}
 	}
 	return nil, nil
 }

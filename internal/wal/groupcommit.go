@@ -268,10 +268,14 @@ func (l *GroupCommitLog) commit(batch *gcBatch) {
 		start := time.Now()
 		batch.err = l.inner.writeBatch(batch.buf.Bytes(), batch.count)
 		if batch.err == nil {
-			l.flushNs.ObserveSince(start)
+			dur := time.Since(start).Nanoseconds()
+			l.flushNs.Observe(dur)
 			l.batches.Inc()
 			l.records.Add(int64(batch.count))
 			l.batchRecords.Observe(int64(batch.count))
+			if obs.DefaultBus.Active() {
+				obs.DefaultBus.Publish(obs.Event{Kind: obs.EvWalFlush, N: int64(batch.count), DurNs: dur})
+			}
 		}
 	}
 	l.commitMu.Unlock()

@@ -244,6 +244,9 @@ func (l *SegmentedLog) rotateLocked() error {
 	}
 	l.sealed = append(l.sealed, SegmentInfo{Index: l.activeIndex, Path: segPath(l.dir, l.activeIndex)})
 	l.rotations.Inc()
+	if obs.DefaultBus.Active() {
+		obs.DefaultBus.Publish(obs.Event{Kind: obs.EvWalRotate, N: int64(l.activeIndex)})
+	}
 	return l.openSegmentLocked(l.activeIndex + 1)
 }
 

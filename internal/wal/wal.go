@@ -272,7 +272,11 @@ func (l *FileLog) appendFramed(line []byte) error {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
-		l.fsyncNs.ObserveSince(start)
+		dur := time.Since(start).Nanoseconds()
+		l.fsyncNs.Observe(dur)
+		if obs.DefaultBus.Active() {
+			obs.DefaultBus.Publish(obs.Event{Kind: obs.EvWalFsync, N: 1, DurNs: dur})
+		}
 	}
 	l.appends.Inc()
 	l.bytes.Add(int64(n) + 1)
