@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/wal"
 )
@@ -51,6 +52,9 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"sse-buffer without metrics-addr", []string{"-sse-buffer", "8", "x.fdl"}, "-pprof, -sse-buffer and -linger-ms require -metrics-addr"},
 		{"linger-ms without metrics-addr", []string{"-linger-ms", "100", "x.fdl"}, "-pprof, -sse-buffer and -linger-ms require -metrics-addr"},
 		{"zero sse-buffer", []string{"-metrics-addr", "127.0.0.1:0", "-sse-buffer", "0", "x.fdl"}, "-sse-buffer must be >= 1 and -linger-ms >= 0"},
+		{"max-queue without fleet", []string{"-max-queue", "4", "x.fdl"}, "-max-queue and -shed require fleet mode (-n > 1)"},
+		{"shed without fleet", []string{"-shed", "x.fdl"}, "-max-queue and -shed require fleet mode (-n > 1)"},
+		{"negative max-queue", []string{"-n", "4", "-max-queue", "-1", "x.fdl"}, "-max-queue must be >= 0"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -172,6 +176,82 @@ END 'demo'
 		if n != 6 {
 			t.Errorf("instance %s has %d records, want 6", id, n)
 		}
+	}
+}
+
+// TestFleetShedAndBreakerFlags runs a fleet with the overload-control
+// flags at a queue depth that can never fill (-max-queue >= -n) and with
+// -breaker on: the summary must report the shed count (zero here — the
+// deterministic shedding behavior itself is pinned by the engine's
+// scheduler tests and the B12 table) and the metrics dump must show the
+// breaker instruments the flag wires in.
+func TestFleetShedAndBreakerFlags(t *testing.T) {
+	bin := buildWfrun(t)
+	fdl := demoFDL(t, t.TempDir())
+	out, err := exec.Command(bin, "-n", "16", "-parallel", "4",
+		"-max-queue", "32", "-shed", "-breaker", "-metrics", fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"fleet: 16 instances of demo: finished=16 failed=0 shed=0",
+		"engine_breaker_open 0",
+		"engine_retry_budget",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+}
+
+// TestSignalCutsLingerShort pins the graceful-shutdown contract: a run
+// parked in its -linger-ms window exits promptly and cleanly on SIGINT
+// instead of serving out the full window, and the flight recorder dump
+// survives. The dump file doubles as the readiness signal — it is
+// written immediately before the linger wait begins.
+func TestSignalCutsLingerShort(t *testing.T) {
+	bin := buildWfrun(t)
+	dir := t.TempDir()
+	fdl := demoFDL(t, dir)
+	dump := filepath.Join(dir, "flight.jsonl")
+	cmd := exec.Command(bin, "-metrics-addr", "127.0.0.1:0",
+		"-linger-ms", "60000", "-flight-recorder", dump, fdl)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(dump); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("flight dump never appeared; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("exit after SIGINT: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("run kept lingering after SIGINT")
+	}
+	if !strings.Contains(stderr.String(), "signal received, draining") {
+		t.Errorf("drain announcement missing from stderr:\n%s", stderr.String())
+	}
+	if data, err := os.ReadFile(dump); err != nil || len(data) == 0 {
+		t.Errorf("flight dump unreadable or empty: %v", err)
 	}
 }
 

@@ -36,9 +36,11 @@
 // Fleet mode executes many instances of the same template concurrently
 // against a bounded scheduler and prints an aggregate summary instead of
 // a per-instance trail: -n sets the fleet size, -parallel the number of
-// instances in flight. With -wal the whole fleet shares one log;
-// -group-commit batches the fleet's appends into one fsync per flush
-// (tune with -flush-ms and -batch):
+// instances in flight. -max-queue bounds the admission queue beyond the
+// workers and -shed rejects (and counts) arrivals that find it full
+// instead of blocking the producer — the overload-control knobs. With
+// -wal the whole fleet shares one log; -group-commit batches the fleet's
+// appends into one fsync per flush (tune with -flush-ms and -batch):
 //
 //	wfrun -process travel -wal travel.wal -group-commit -n 64 -parallel 8 -metrics travel.fdl
 //
@@ -66,8 +68,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/engine"
@@ -94,6 +98,9 @@ func main() {
 	spans := flag.Bool("spans", false, "print the instance's span tree derived from the audit trail")
 	fleetN := flag.Int("n", 1, "fleet size: run N instances of the process and print an aggregate summary")
 	parallel := flag.Int("parallel", 1, "fleet workers: how many instances execute at once")
+	maxQueue := flag.Int("max-queue", 0, "fleet admission queue depth beyond the -parallel workers (requires -n > 1)")
+	shed := flag.Bool("shed", false, "reject (and count) fleet instances arriving while the admission queue is full instead of blocking the producer (requires -n > 1)")
+	breaker := flag.Bool("breaker", false, "guard every program with a circuit breaker and pool retries in a shared retry budget; breaker states appear on /statusz")
 	groupCommit := flag.Bool("group-commit", false, "batch WAL appends from concurrent instances into one fsync per flush (requires -wal)")
 	flushMs := flag.Int("flush-ms", 0, "group-commit accumulation window in milliseconds (0 = commit pipelining only; requires -group-commit)")
 	batch := flag.Int("batch", 64, "group-commit max records per batch (requires -group-commit)")
@@ -107,7 +114,7 @@ func main() {
 	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
 	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir] [-resume]] [-n fleet [-parallel p]] [-metrics] [-metrics-addr :port [-pprof] [-sse-buffer n] [-linger-ms n]] [-flight-recorder file] [-spans] file.fdl\n")
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-breaker] [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir] [-resume]] [-n fleet [-parallel p] [-max-queue n] [-shed]] [-metrics] [-metrics-addr :port [-pprof] [-sse-buffer n] [-linger-ms n]] [-flight-recorder file] [-spans] file.fdl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -151,6 +158,10 @@ func main() {
 		usageError("-pprof, -sse-buffer and -linger-ms require -metrics-addr")
 	case *sseBuffer < 1 || *lingerMs < 0:
 		usageError("-sse-buffer must be >= 1 and -linger-ms >= 0")
+	case *fleetN <= 1 && (explicit["max-queue"] || *shed):
+		usageError("-max-queue and -shed require fleet mode (-n > 1)")
+	case *maxQueue < 0:
+		usageError("-max-queue must be >= 0")
 	}
 
 	// The flight recorder taps the bus whenever something will consume its
@@ -171,14 +182,39 @@ func main() {
 	} else if flightRec != nil {
 		obs.DefaultBus.Attach(flightRec.Record)
 	}
-	shutdownOps = func() {
+	// Graceful shutdown: the first SIGINT/SIGTERM asks the run to drain —
+	// fleet mode stops admitting new instances and lets the ones in flight
+	// finish, after which the normal exit path stops the checkpointer,
+	// closes the log and dumps the flight recorder; a closed stop channel
+	// also cuts the -linger-ms window short. A second signal forces exit:
+	// the flight recorder is dumped (the run's last evidence) and the
+	// process leaves with the conventional 128+SIGINT code.
+	stop := make(chan struct{})
+	dumpFlight := func() {
 		if flightRec != nil && *flightPath != "" {
 			if err := flightRec.DumpFile(*flightPath); err != nil {
 				fmt.Fprintf(os.Stderr, "wfrun: flight recorder: %v\n", err)
 			}
 		}
+	}
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "wfrun: signal received, draining (signal again to force exit)")
+		close(stop)
+		<-sigc
+		fmt.Fprintln(os.Stderr, "wfrun: second signal, forcing exit")
+		dumpFlight()
+		os.Exit(130)
+	}()
+	shutdownOps = func() {
+		dumpFlight()
 		if *lingerMs > 0 {
-			time.Sleep(time.Duration(*lingerMs) * time.Millisecond)
+			select {
+			case <-time.After(time.Duration(*lingerMs) * time.Millisecond):
+			case <-stop:
+			}
 		}
 	}
 	defer shutdownOps()
@@ -222,7 +258,18 @@ func main() {
 			inj.AbortN(parts[0], k)
 		}
 		rec := &rm.Recorder{}
-		e := engine.New()
+		var eopts []engine.Option
+		if *breaker {
+			// One breaker per program plus a shared retry budget: a failing
+			// resource manager trips open and is probed instead of hammered,
+			// and retry storms drain the budget before they melt the fleet.
+			set := rm.NewBreakerSet(rm.BreakerConfig{}, nil, nil)
+			eopts = append(eopts,
+				engine.WithBreakerFactory(set.Factory()),
+				engine.WithRetryBudget(engine.NewRetryBudget(64, 0)))
+			ops.setBreakers(set.States) // nil-safe
+		}
+		e := engine.New(eopts...)
 		ops.setEngine(e) // nil-safe; /statusz shows the freshest engine
 		for _, prog := range file.Programs {
 			if prog.Name == fmtm.CopyName {
@@ -325,6 +372,7 @@ func main() {
 	if *fleetN > 1 {
 		res, err := e.RunFleet(engine.FleetOptions{
 			Process: name, N: *fleetN, Parallel: *parallel, Log: log,
+			MaxQueue: *maxQueue, Shed: *shed, Stop: stop,
 		})
 		if err != nil {
 			fatal(err)
@@ -333,9 +381,13 @@ func main() {
 			fatal(err)
 		}
 		secs := res.Elapsed.Seconds()
-		fmt.Printf("fleet: %d instances of %s: finished=%d failed=%d elapsed=%s (%.1f instances/sec)\n",
-			res.Launched, name, res.Finished, res.Failed,
+		fmt.Printf("fleet: %d instances of %s: finished=%d failed=%d shed=%d elapsed=%s (%.1f instances/sec)\n",
+			res.Launched, name, res.Finished, res.Failed, res.Shed,
 			res.Elapsed.Round(time.Millisecond), float64(res.Launched)/secs)
+		if res.Stopped {
+			fmt.Printf("fleet: drained after stop signal: %d of %d instances never admitted\n",
+				*fleetN-res.Launched-res.Shed, *fleetN)
+		}
 		if *metrics {
 			fmt.Println("-- metrics --")
 			obs.WritePrometheus(os.Stdout, obs.Default)

@@ -36,6 +36,10 @@ type opsServer struct {
 	// starts listening); /statusz serves registry-only data before then.
 	eng atomic.Pointer[engine.Engine]
 
+	// breakerStates, when set, snapshots the run's circuit-breaker states
+	// by program name for /statusz (the -breaker flag).
+	breakerStates atomic.Pointer[func() map[string]string]
+
 	// walLast / ckptLast hold the obs.Now() stamp of the most recent
 	// durability event (wal.fsync|wal.flush and wal.checkpoint), 0 when
 	// never seen — the staleness inputs of /healthz.
@@ -82,6 +86,14 @@ func (s *opsServer) setEngine(e *engine.Engine) {
 	}
 }
 
+// setBreakers publishes a breaker-state snapshot function to /statusz;
+// called when -breaker wires a BreakerSet into the engine.
+func (s *opsServer) setBreakers(states func() map[string]string) {
+	if s != nil {
+		s.breakerStates.Store(&states)
+	}
+}
+
 func (s *opsServer) mux(pprofOn bool) *http.ServeMux {
 	m := http.NewServeMux()
 	m.Handle("/metrics", obs.Handler(s.reg))
@@ -123,6 +135,9 @@ func (s *opsServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *opsServer) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	st := obs.StatusOf(s.reg, s.bus)
+	if states := s.breakerStates.Load(); states != nil {
+		st.Breakers = (*states)()
+	}
 	if e := s.eng.Load(); e != nil {
 		infos := e.Instances()
 		st.States = make(map[string]int, 4)

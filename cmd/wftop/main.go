@@ -145,10 +145,33 @@ func render(w *os.File, addr string, st, prev *obs.Status, sincePrev time.Durati
 		tput = fmt.Sprintf("  %.1f finished/sec", float64(delta)/sincePrev.Seconds())
 	}
 	fmt.Fprintf(w, "fleet  %d instances  %s%s\n", total, strings.Join(parts, " "), tput)
-	fmt.Fprintf(w, "queues depth=%d active=%d inflight=%d\n",
+	fmt.Fprintf(w, "queues depth=%d active=%d inflight=%d shed=%d\n",
 		st.Gauges["engine.fleet.queue.depth"].Value,
 		st.Gauges["engine.fleet.active"].Value,
-		st.Gauges["engine.inflight.workers"].Value)
+		st.Gauges["engine.inflight.workers"].Value,
+		st.Counters["engine.fleet.shed"])
+
+	// Overload-control line: present only when the run has breakers wired
+	// in (-breaker), keyed off the retry-budget gauge the engine mirrors.
+	if budget, ok := st.Gauges["engine.retry.budget"]; ok {
+		fmt.Fprintf(w, "breaker open=%d trips=%d retry-budget=%d forgone=%d\n",
+			st.Gauges["engine.breaker.open"].Value,
+			st.Counters["engine.breaker.trips"],
+			budget.Value,
+			st.Counters["engine.retry.forgone"])
+	}
+	if len(st.Breakers) > 0 {
+		progs := make([]string, 0, len(st.Breakers))
+		for p := range st.Breakers {
+			progs = append(progs, p)
+		}
+		sort.Strings(progs)
+		states := make([]string, 0, len(progs))
+		for _, p := range progs {
+			states = append(states, fmt.Sprintf("%s=%s", p, st.Breakers[p]))
+		}
+		fmt.Fprintf(w, "breakers %s\n", strings.Join(states, " "))
+	}
 
 	fmt.Fprintf(w, "\n%-28s %10s %10s %10s %10s\n", "LATENCY", "COUNT", "P50", "P95", "P99")
 	names := make([]string, 0, len(st.Latencies))

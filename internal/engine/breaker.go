@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// This file wires overload protection around program invocation: circuit
+// breakers (one per registered program, i.e. per resource manager) and a
+// global retry-token budget. Both are injected — the engine defines only
+// the seams — so the policy lives with its owner (rm.Breaker implements
+// the breaker automaton; rm.BreakerSet builds the factory) and the
+// engine's deterministic navigation stays dependency-free.
+
+// Breaker is the engine's view of a per-program circuit breaker. Allow
+// is consulted before every invocation attempt: a non-nil error fails
+// the attempt fast without invoking the program (the error is treated as
+// transient, so the activity's retry policy — backoff, attempts, the
+// retry budget — still applies and a later attempt can pass once the
+// breaker half-opens). Record is fed every attempt's infrastructure
+// outcome; a transactional abort (RC != 0) is a successful invocation
+// and is recorded as success. rm.Breaker satisfies the interface.
+type Breaker interface {
+	Allow() error
+	Record(failure bool)
+}
+
+// WithBreakerFactory installs a circuit-breaker factory: the engine
+// calls it once per distinct program name (lazily, at first invocation)
+// and consults the returned breaker around every attempt of that
+// program. A nil return from the factory leaves that program
+// unprotected. See rm.NewBreakerSet for the standard implementation,
+// which also publishes breaker.* transition events and maintains the
+// engine.breaker.* metrics.
+func WithBreakerFactory(f func(program string) Breaker) Option {
+	return func(e *Engine) { e.breakerFactory = f }
+}
+
+// WithRetryBudget attaches a global retry-token budget: once the fleet's
+// recent retry volume exhausts it, further transient failures fail their
+// activity instead of retrying (counted by engine.retry.forgone and a
+// retry.exhausted event). The budget may be shared across engines.
+func WithRetryBudget(b *RetryBudget) Option {
+	return func(e *Engine) { e.retryBudget = b }
+}
+
+// breakerFor returns the (lazily created) breaker guarding program, or
+// nil when breakers are not configured.
+func (e *Engine) breakerFor(program string) Breaker {
+	if e.breakerFactory == nil {
+		return nil
+	}
+	e.breakerMu.Lock()
+	defer e.breakerMu.Unlock()
+	if e.breakers == nil {
+		e.breakers = make(map[string]Breaker)
+	}
+	br, ok := e.breakers[program]
+	if !ok {
+		br = e.breakerFactory(program)
+		e.breakers[program] = br
+	}
+	return br
+}
+
+// RetryBudget is a global token bucket damping retry storms: every
+// successful invocation deposits DepositRatio tokens (capped at the
+// bucket's capacity), every retry withdraws one. Under isolated
+// transient failures the bucket stays near full and retries proceed as
+// usual; under correlated failure — a dead resource manager failing
+// every instance at once — the bucket drains and further retries are
+// forgone, so the workers spend their time on instances that can still
+// make progress instead of synchronized backoff-and-fail cycles.
+//
+// RetryBudget is safe for concurrent use and may be shared by several
+// engines (one budget per host is the deployment shape that stops
+// cross-engine storms).
+type RetryBudget struct {
+	mu       sync.Mutex
+	capacity float64
+	ratio    float64
+	tokens   float64
+}
+
+// NewRetryBudget returns a full bucket holding capacity tokens that
+// refills at depositRatio tokens per successful invocation. capacity < 1
+// is treated as 1; depositRatio <= 0 defaults to 0.1 (one retry earned
+// per ten successes — the classic 10% retry-overhead ceiling).
+func NewRetryBudget(capacity int, depositRatio float64) *RetryBudget {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if depositRatio <= 0 {
+		depositRatio = 0.1
+	}
+	return &RetryBudget{
+		capacity: float64(capacity),
+		ratio:    depositRatio,
+		tokens:   float64(capacity),
+	}
+}
+
+// Deposit credits one successful invocation.
+func (b *RetryBudget) Deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw takes one retry token, reporting false (and taking nothing)
+// when the budget is exhausted.
+func (b *RetryBudget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Remaining reports the whole tokens left.
+func (b *RetryBudget) Remaining() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int(b.tokens)
+}
+
+// recordRetryBudgetGauge mirrors the budget into the engine.retry.budget
+// gauge after a deposit or withdrawal.
+func (e *Engine) recordRetryBudgetGauge() {
+	if e.retryBudget != nil {
+		e.metrics.retryBudget.Set(int64(e.retryBudget.Remaining()))
+	}
+}
+
+// publishRetryExhausted emits the retry.exhausted event for a forgone
+// retry of program at path.
+func (inst *Instance) publishRetryExhausted(path, program string, attempt int) {
+	inst.eng.metrics.retriesForgone.Inc()
+	if bus := inst.eng.bus; bus.Active() {
+		bus.Publish(obs.Event{Kind: obs.EvRetryExhausted, Instance: inst.id,
+			Path: path, Program: program, N: int64(attempt)})
+	}
+}

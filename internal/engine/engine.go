@@ -91,6 +91,11 @@ type Engine struct {
 	metrics     *engineMetrics
 	bus         *obs.Bus
 
+	breakerFactory func(program string) Breaker
+	breakerMu      sync.Mutex
+	breakers       map[string]Breaker
+	retryBudget    *RetryBudget
+
 	instMu    sync.Mutex
 	instances []*Instance
 }

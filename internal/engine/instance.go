@@ -728,6 +728,7 @@ func (inst *Instance) runProgram(as *actState) {
 func (inst *Instance) executeAttempts(prog Program, as *actState, in *model.Container) (*model.Container, error) {
 	m := inst.eng.metrics
 	budget := as.act.Retry.Attempts()
+	br := inst.eng.breakerFor(as.act.Program)
 	var lastErr error
 	attempts := 0
 	start := time.Now()
@@ -744,30 +745,63 @@ func (inst *Instance) executeAttempts(prog Program, as *actState, in *model.Cont
 		if attempt > 1 {
 			m.retries.Inc()
 		}
-		if err := invokeGuarded(prog, inv, as.act.DeadlineMS); err == nil {
-			m.invocations.Inc()
-			if out.RC() == 0 {
-				m.committed.Inc()
-			} else {
-				m.aborted.Inc()
+		blocked := false
+		if br != nil {
+			if berr := br.Allow(); berr != nil {
+				// Fail fast without invoking: the breaker has seen this
+				// program failing at a rate where another call is wasted
+				// work. Transient, so backoff + a later attempt (or the
+				// half-open probe) still gets a chance.
+				blocked = true
+				lastErr = Transient(berr)
 			}
-			as.progNs = time.Since(start).Nanoseconds()
-			m.programNs.Observe(as.progNs)
-			return out, nil
-		} else {
-			lastErr = err
 		}
-		var pe *PanicError
-		if errors.As(lastErr, &pe) {
-			m.panics.Inc()
-			if bus := inst.eng.bus; bus.Active() {
-				bus.Publish(obs.Event{Kind: obs.EvActivityPanic, Instance: inst.id,
-					Path: as.path(), Iter: as.iter, Program: as.act.Program,
-					N: int64(attempt), Cause: lastErr.Error()})
+		if !blocked {
+			if err := invokeGuarded(prog, inv, as.act.DeadlineMS); err == nil {
+				if br != nil {
+					br.Record(false)
+				}
+				if rb := inst.eng.retryBudget; rb != nil {
+					rb.Deposit()
+					inst.eng.recordRetryBudgetGauge()
+				}
+				m.invocations.Inc()
+				if out.RC() == 0 {
+					m.committed.Inc()
+				} else {
+					m.aborted.Inc()
+				}
+				as.progNs = time.Since(start).Nanoseconds()
+				m.programNs.Observe(as.progNs)
+				return out, nil
+			} else {
+				lastErr = err
+				if br != nil {
+					br.Record(true)
+				}
+			}
+			var pe *PanicError
+			if errors.As(lastErr, &pe) {
+				m.panics.Inc()
+				if bus := inst.eng.bus; bus.Active() {
+					bus.Publish(obs.Event{Kind: obs.EvActivityPanic, Instance: inst.id,
+						Path: as.path(), Iter: as.iter, Program: as.act.Program,
+						N: int64(attempt), Cause: lastErr.Error()})
+				}
 			}
 		}
 		if !IsTransient(lastErr) || attempt == budget {
 			break
+		}
+		if rb := inst.eng.retryBudget; rb != nil {
+			if !rb.Withdraw() {
+				// Budget exhausted: forgo the retry so correlated failures
+				// cannot multiply into a retry storm; the activity fails
+				// with the last error.
+				inst.publishRetryExhausted(as.path(), as.act.Program, attempt)
+				break
+			}
+			inst.eng.recordRetryBudgetGauge()
 		}
 		var backoff time.Duration
 		if rp := as.act.Retry; rp != nil && rp.BackoffMS > 0 {

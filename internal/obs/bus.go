@@ -234,8 +234,15 @@ const (
 	EvWalRotate             = "wal.rotate"              // segment sealed; N = sealed index
 	EvWalCheckpoint         = "wal.checkpoint"          // checkpoint written; N = sequence, DurNs = write time
 	EvWalCheckpointFallback = "wal.checkpoint_fallback" // damaged checkpoint skipped on load
+	EvWalFailed             = "wal.failed"              // storage error sealed the log; Cause set
 
 	EvFleetEnqueue = "fleet.enqueue" // instance admitted, awaiting a worker; N = queue depth
 	EvFleetActive  = "fleet.active"  // instance began executing; N = active count
 	EvFleetDone    = "fleet.done"    // instance released its worker; N = active count
+	EvFleetShed    = "fleet.shed"    // admission queue full, work rejected; N = sheds so far
+
+	EvBreakerOpen     = "breaker.open"      // failure rate tripped the breaker; Program set, Cause = last error
+	EvBreakerHalfOpen = "breaker.half_open" // cooldown elapsed, probe admitted; Program set
+	EvBreakerClose    = "breaker.close"     // probe succeeded, normal flow resumed; Program set
+	EvRetryExhausted  = "retry.exhausted"   // retry budget empty, retry forgone; Program set
 )

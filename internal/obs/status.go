@@ -18,6 +18,9 @@ type Status struct {
 	// States counts instances by status ("created", "running",
 	// "finished", "failed", "canceled").
 	States map[string]int `json:"states,omitempty"`
+	// Breakers maps program names to their circuit-breaker state
+	// ("closed", "open", "half-open") when the run has breakers enabled.
+	Breakers map[string]string `json:"breakers,omitempty"`
 	// Counters and Gauges are the registry's current counter values and
 	// gauge snapshots (same keys as the metrics snapshot).
 	Counters map[string]int64         `json:"counters,omitempty"`

@@ -1,0 +1,134 @@
+package rm
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// End-to-end breaker + retry-budget wiring: a failing program trips its
+// breaker open after enough recorded failures, the retry budget stops
+// the retry storm, later instances fail fast without invoking the
+// program, and a healthy probe after the cooldown recloses the breaker.
+func TestBreakerSetEngineIntegration(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	reg := obs.NewRegistry()
+	bus := obs.NewBus()
+	var kinds []string
+	detach := bus.Attach(func(ev obs.Event) {
+		switch ev.Kind {
+		case obs.EvBreakerOpen, obs.EvBreakerHalfOpen, obs.EvBreakerClose, obs.EvRetryExhausted:
+			kinds = append(kinds, ev.Kind)
+		}
+	})
+	defer detach()
+
+	set := NewBreakerSet(BreakerConfig{
+		Window: 4, FailureRate: 0.5, MinSamples: 4, Cooldown: time.Second, Now: clk.now,
+	}, reg, bus)
+	budget := engine.NewRetryBudget(3, 0.1)
+	e := engine.New(
+		engine.WithMetrics(reg), engine.WithBus(bus),
+		engine.WithBreakerFactory(set.Factory()),
+		engine.WithRetryBudget(budget),
+		engine.WithSleep(func(time.Duration) {}),
+	)
+	var invocations, healthy atomic.Int64
+	if err := e.RegisterProgram("flaky", engine.ProgramFunc(func(inv *engine.Invocation) error {
+		invocations.Add(1)
+		if healthy.Load() == 1 {
+			inv.Out.SetRC(0)
+			return nil
+		}
+		return engine.Transient(errors.New("rm down"))
+	})); err != nil {
+		t.Fatal(err)
+	}
+	p := model.NewProcess("P")
+	p.Activities = append(p.Activities, &model.Activity{
+		Name: "A", Kind: model.KindProgram, Program: "flaky",
+		Retry: &model.RetryPolicy{MaxAttempts: 20},
+	})
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() *engine.Instance {
+		t.Helper()
+		inst, err := e.CreateInstance("P", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Start() // failures surface via inst.Err()
+		return inst
+	}
+
+	// First instance: attempt 1 plus 3 budgeted retries all fail; the 4th
+	// recorded failure trips the breaker, and the empty budget forgoes
+	// further retries.
+	inst := run()
+	if inst.Finished() {
+		t.Fatal("failing instance finished")
+	}
+	if got := invocations.Load(); got != 4 {
+		t.Fatalf("invocations = %d, want 4 (1 + 3 budgeted retries)", got)
+	}
+	if got := set.For("flaky").State(); got != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	if budget.Remaining() != 0 {
+		t.Fatalf("budget remaining = %d, want 0", budget.Remaining())
+	}
+
+	// Second instance fails fast: the open breaker blocks the attempt, so
+	// the program is never invoked, and the cause names the breaker.
+	inst2 := run()
+	if got := invocations.Load(); got != 4 {
+		t.Fatalf("open breaker let an invocation through (%d)", got)
+	}
+	if err := inst2.Err(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("fast-fail cause = %v, want ErrBreakerOpen", err)
+	}
+
+	// RM heals, cooldown elapses: the half-open probe succeeds and the
+	// breaker recloses; the instance finishes normally.
+	healthy.Store(1)
+	clk.advance(2 * time.Second)
+	inst3 := run()
+	if !inst3.Finished() {
+		t.Fatalf("post-recovery instance failed: %v", inst3.Err())
+	}
+	if got := set.For("flaky").State(); got != BreakerClosed {
+		t.Fatalf("breaker state after probe = %v, want closed", got)
+	}
+	if got := set.States()["flaky"]; got != "closed" {
+		t.Fatalf("States() = %q, want closed", got)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["engine.breaker.trips"]; got != 1 {
+		t.Fatalf("breaker.trips = %d, want 1", got)
+	}
+	if g := snap.Gauges["engine.breaker.open"]; g.Value != 0 || g.Max != 1 {
+		t.Fatalf("breaker.open gauge = %+v, want value 0 max 1", g)
+	}
+	if got := snap.Counters["engine.retry.forgone"]; got < 1 {
+		t.Fatalf("retry.forgone = %d, want >= 1", got)
+	}
+
+	wantOrder := []string{obs.EvRetryExhausted, obs.EvBreakerOpen}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		seen[k] = true
+	}
+	for _, k := range append(wantOrder, obs.EvBreakerHalfOpen, obs.EvBreakerClose) {
+		if !seen[k] {
+			t.Fatalf("event %s never published (got %v)", k, kinds)
+		}
+	}
+}

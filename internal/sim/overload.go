@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// b12Percentile returns the p-th percentile (0 < p <= 1) of the given
+// latencies, computed exactly from the sorted raw samples.
+func b12Percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(float64(len(s))*p+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// b12Outcome is one scheduler configuration's measured behavior under a
+// fixed offered load.
+type b12Outcome struct {
+	accepted int
+	shed     int
+	wall     time.Duration
+	lat      []time.Duration // arrival -> completion, accepted tasks only
+}
+
+// b12Offered drives an open-loop arrival process: n tasks of the given
+// service time, paced at the given inter-arrival interval, each admitted
+// with TrySubmit (shedding on a full queue). interval <= 0 degenerates to
+// a closed loop using blocking Submit — the no-overload baseline.
+func b12Offered(sched *engine.Scheduler, n int, service, interval time.Duration) b12Outcome {
+	lat := make([]time.Duration, n) // slot per task; only accepted slots written
+	accepted := make([]bool, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if interval > 0 {
+			// Open loop: arrivals keep their own clock, independent of how
+			// the scheduler is coping (that independence is what makes the
+			// load "offered" rather than self-throttled).
+			if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		i := i
+		arrived := time.Now()
+		task := func() {
+			time.Sleep(service)
+			lat[i] = time.Since(arrived)
+		}
+		if interval <= 0 {
+			sched.Submit(task)
+			accepted[i] = true
+			continue
+		}
+		if err := sched.TrySubmit(task); err == nil {
+			accepted[i] = true
+		}
+	}
+	sched.Wait()
+	out := b12Outcome{wall: time.Since(start), shed: int(sched.Sheds())}
+	for i, ok := range accepted {
+		if ok {
+			out.accepted++
+			out.lat = append(out.lat, lat[i])
+		}
+	}
+	return out
+}
+
+// RunB12 measures overload behavior of the bounded admission scheduler.
+// A fleet of W workers serves fixed-cost tasks; capacity is W/service
+// tasks per second. The no-overload baseline runs closed-loop at exactly
+// that capacity. The overload rows then offer 2x capacity open-loop:
+//
+//   - with a bounded queue (2W) and shedding, the scheduler must keep
+//     accepted-work latency bounded — queue wait can never exceed the
+//     queue drain time — and keep goodput within 10% of the baseline
+//     (shedding rejects work instead of destroying throughput);
+//   - with an effectively unbounded queue, the same offered load makes
+//     latency grow with the backlog — the contrast row motivating
+//     admission control. Its latency column is reported but not gated
+//     (its exact magnitude is timing-sensitive).
+//
+// The gates (shed > 0, p99 bounded, goodput >= 90% of baseline) are
+// enforced by this table as run by wfbench; the test suite asserts the
+// table's structure only, since wall-clock figures distort under -race
+// (the B9 precedent).
+func RunB12() *Report {
+	r := &Report{
+		ID:      "B12",
+		Title:   "overload: bounded admission + shedding vs unbounded queueing at 2x offered load",
+		Columns: []string{"mode", "workers", "queue", "offered", "accepted", "shed", "tasks/sec", "p50", "p99", "goodput vs base"},
+		Pass:    true,
+	}
+	const (
+		workers  = 4
+		service  = 2 * time.Millisecond
+		baseN    = 400 // closed-loop baseline tasks
+		overN    = 800 // open-loop arrivals at 2x capacity
+		maxQueue = 2 * workers
+	)
+	interval := service / (2 * workers) // 2x capacity inter-arrival gap
+
+	row := func(mode string, queue string, offered string, out b12Outcome, vsBase float64) {
+		tps := float64(out.accepted) / out.wall.Seconds()
+		vs := "-"
+		if vsBase > 0 {
+			vs = fmt.Sprintf("%.2f", vsBase)
+		}
+		r.AddRow(mode, fmt.Sprint(workers), queue, offered,
+			fmt.Sprint(out.accepted), fmt.Sprint(out.shed),
+			fmt.Sprintf("%.0f", tps),
+			fmtNs(float64(b12Percentile(out.lat, 0.50).Nanoseconds())),
+			fmtNs(float64(b12Percentile(out.lat, 0.99).Nanoseconds())),
+			vs)
+		r.AddSample(Sample{Name: "B12/" + mode, NsOp: float64(out.wall.Nanoseconds()),
+			Iters: 1, RecordsPerSec: tps})
+	}
+
+	// No-overload baseline: closed loop at capacity.
+	base := b12Offered(engine.NewBoundedScheduler(workers, 0), baseN, service, 0)
+	baseTps := float64(base.accepted) / base.wall.Seconds()
+	row("baseline closed-loop", "0", "capacity", base, 0)
+
+	// 2x overload, bounded queue, shedding.
+	shed := b12Offered(engine.NewBoundedScheduler(workers, maxQueue), overN, service, interval)
+	shedTps := float64(shed.accepted) / shed.wall.Seconds()
+	goodput := shedTps / baseTps
+	row("shed bounded-queue", fmt.Sprint(maxQueue), "2x capacity", shed, goodput)
+
+	// 2x overload, effectively unbounded queue: every arrival is accepted
+	// and the backlog turns into latency.
+	unbounded := b12Offered(engine.NewBoundedScheduler(workers, overN), overN, service, interval)
+	row("unbounded queue", fmt.Sprint(overN), "2x capacity", unbounded, 0)
+
+	var errs []error
+	if shed.shed == 0 {
+		errs = append(errs, errors.New("B12: no work shed at 2x offered load with a bounded queue"))
+	}
+	// Accepted-work latency bound: service + full-queue drain, with 4x
+	// headroom for scheduler noise.
+	if limit := 4 * (service + time.Duration(maxQueue/workers)*service); b12Percentile(shed.lat, 0.99) > limit {
+		errs = append(errs, fmt.Errorf("B12: shed-mode p99 %v exceeds bound %v", b12Percentile(shed.lat, 0.99), limit))
+	}
+	if goodput < 0.9 {
+		errs = append(errs, fmt.Errorf("B12: goodput %.2fx of baseline, want >= 0.9", goodput))
+	}
+	if unbounded.accepted != overN || unbounded.shed != 0 {
+		errs = append(errs, fmt.Errorf("B12: unbounded row shed %d of %d arrivals", unbounded.shed, overN))
+	}
+	if len(errs) > 0 {
+		r.Pass = false
+		r.Err = errors.Join(errs...)
+	}
+	return r
+}

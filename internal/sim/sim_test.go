@@ -188,6 +188,19 @@ func TestFastBenchTables(t *testing.T) {
 	if mean := last[6]; mean == "-" {
 		t.Errorf("B9: fleet-32 group commit row reports no batch stats")
 	}
+	// B12's p99/goodput gates are wall-clock figures wfbench enforces in
+	// CI without -race; here the structure is asserted: three rows, work
+	// actually shed on the bounded-queue row, nothing shed on the others.
+	b12 := RunB12()
+	if len(b12.Rows) != 3 {
+		t.Fatalf("B12: rows=%d, want 3", len(b12.Rows))
+	}
+	if shed := b12.Rows[1][5]; shed == "0" {
+		t.Errorf("B12: bounded-queue row shed nothing at 2x offered load")
+	}
+	if b12.Rows[0][5] != "0" || b12.Rows[2][5] != "0" {
+		t.Errorf("B12: baseline/unbounded rows shed work: %v", b12.Rows)
+	}
 }
 
 func TestSimulateSaga(t *testing.T) {

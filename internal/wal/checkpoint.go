@@ -115,6 +115,14 @@ func BuildCheckpoint(prev *Checkpoint, sealedRecords []Record, cover int) *Check
 // frames and record count at read time, and the recovery ladder falls
 // back). Returns the final path.
 func WriteCheckpoint(dir string, cp *Checkpoint) (string, error) {
+	return WriteCheckpointFS(OSFS{}, dir, cp)
+}
+
+// WriteCheckpointFS is WriteCheckpoint over an explicit filesystem —
+// the seam fault tests use to fail a checkpoint's write, fsync, or
+// publication rename with a FaultFS. A failed checkpoint write leaves at
+// most a *.tmp file and never a visible damaged checkpoint.
+func WriteCheckpointFS(fsys FS, dir string, cp *Checkpoint) (string, error) {
 	start := time.Now()
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return "", fmt.Errorf("wal: %w", err)
@@ -140,7 +148,7 @@ func WriteCheckpoint(dir string, cp *Checkpoint) (string, error) {
 
 	path := ckptPath(dir, cp.Seq)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return "", fmt.Errorf("wal: %w", err)
 	}
@@ -155,7 +163,7 @@ func WriteCheckpoint(dir string, cp *Checkpoint) (string, error) {
 	if err := f.Close(); err != nil {
 		return "", fmt.Errorf("wal: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return "", fmt.Errorf("wal: %w", err)
 	}
 	if err := syncDir(dir); err != nil {

@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func faultRec(i int) Record {
+	return Record{Type: RecFinishedActivity, Instance: "i1", Path: "A", Iter: i}
+}
+
+// A FaultFS in count-only mode injects nothing and counts every
+// write/sync op.
+func TestFaultFSCountOnly(t *testing.T) {
+	fs := NewFaultFS(FaultEIO, 0)
+	l, err := OpenFileLog(filepath.Join(t.TempDir(), "w.log"), WithFsync(), WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(faultRec(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Ops() == 0 || fs.Fired() {
+		t.Fatalf("ops=%d fired=%v, want counted ops and no fault", fs.Ops(), fs.Fired())
+	}
+}
+
+// An injected write fault fails the append with the typed sentinel and
+// seals the log: every later append returns ErrLogFailed even though the
+// "disk" recovered (one-shot fault).
+func TestFileLogSealsAfterWriteFault(t *testing.T) {
+	for _, kind := range []FaultKind{FaultEIO, FaultENOSPC} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fs := NewFaultFS(kind, 3)
+			l, err := OpenFileLog(filepath.Join(t.TempDir(), "w.log"), WithFsync(), WithFS(fs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var firstErr error
+			n := 0
+			for i := 0; i < 10 && firstErr == nil; i++ {
+				firstErr = l.Append(faultRec(i))
+				if firstErr == nil {
+					n++
+				}
+			}
+			want := error(ErrDiskIO)
+			if kind == FaultENOSPC {
+				want = ErrDiskFull
+			}
+			if !errors.Is(firstErr, want) {
+				t.Fatalf("first failure = %v, want %v", firstErr, want)
+			}
+			if err := l.Append(faultRec(99)); !errors.Is(err, ErrLogFailed) {
+				t.Fatalf("append after fault = %v, want ErrLogFailed", err)
+			}
+			if l.Failed() == nil {
+				t.Fatal("Failed() = nil on sealed log")
+			}
+			if err := l.Close(); !errors.Is(err, ErrLogFailed) {
+				t.Fatalf("Close on sealed log = %v, want ErrLogFailed", err)
+			}
+		})
+	}
+}
+
+// Regression for the group-commit ack path: a batch whose write succeeds
+// but whose fsync fails must fail every append it carries, and the log
+// must refuse all later appends — a later batch syncing fine would
+// otherwise ack records over possibly-dropped earlier bytes.
+func TestGroupCommitNoAckAfterFsyncFault(t *testing.T) {
+	fs := NewFaultFS(FaultFsync, 1) // first sync op fails
+	inner, err := OpenFileLog(filepath.Join(t.TempDir(), "w.log"), WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewGroupCommitLog(inner)
+	if err := l.Append(faultRec(1)); !errors.Is(err, ErrFsyncFailed) {
+		t.Fatalf("append in fsync-failed batch = %v, want ErrFsyncFailed", err)
+	}
+	// The disk has "recovered" (one-shot fault) — the log must still
+	// refuse: ack here would be the fsync-gate bug.
+	if err := l.Append(faultRec(2)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after fsync fault = %v, want ErrLogFailed", err)
+	}
+	l.Close()
+}
+
+// The same seal contract holds for a SegmentedLog: a fault in any
+// segment write seals the whole log, and rotation cannot resurrect it.
+func TestSegmentedLogSealsAfterFault(t *testing.T) {
+	fs := NewFaultFS(FaultFsync, 4)
+	l, err := OpenSegmentedLog(t.TempDir(), SegmentFsync(), SegmentFS(fs), SegmentMaxRecords(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstErr error
+	for i := 0; i < 20 && firstErr == nil; i++ {
+		firstErr = l.Append(faultRec(i))
+	}
+	if !errors.Is(firstErr, ErrFsyncFailed) {
+		t.Fatalf("first failure = %v, want ErrFsyncFailed", firstErr)
+	}
+	if err := l.Append(faultRec(99)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after fault = %v, want ErrLogFailed", err)
+	}
+	if l.Failed() == nil {
+		t.Fatal("Failed() = nil on sealed log")
+	}
+	l.Close()
+}
+
+// Acked records survive a storage fault: everything appended before the
+// fault reads back from disk after per-file repair (zero acked loss).
+func TestFaultAckedRecordsSurvive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.log")
+	fs := NewFaultFS(FaultEIO, 7)
+	l, err := OpenFileLog(path, WithFsync(), WithFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := 0
+	for i := 0; i < 50; i++ {
+		if err := l.Append(faultRec(i)); err != nil {
+			break
+		}
+		acked++
+	}
+	if acked == 0 || acked == 50 {
+		t.Fatalf("acked = %d, want a mid-log fault", acked)
+	}
+	l.Close()
+	recs, _, err := RepairFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < acked {
+		t.Fatalf("recovered %d records, acked %d — acked-append loss", len(recs), acked)
+	}
+}
+
+// A checkpoint write through a faulty filesystem fails cleanly, leaving
+// no visible (non-tmp) checkpoint that a reader could trust.
+func TestWriteCheckpointFSFault(t *testing.T) {
+	dir := t.TempDir()
+	cp := &Checkpoint{Seq: 1, Cover: 0, Records: []Record{faultRec(1)}}
+	for _, kind := range []FaultKind{FaultEIO, FaultFsync} {
+		fs := NewFaultFS(kind, 1)
+		if _, err := WriteCheckpointFS(fs, dir, cp); err == nil {
+			t.Fatalf("%v: checkpoint write succeeded through fault", kind)
+		}
+		infos, err := ListCheckpoints(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 0 {
+			t.Fatalf("%v: damaged checkpoint became visible: %v", kind, infos)
+		}
+	}
+	// And a clean FS succeeds in the same directory afterwards.
+	if _, err := WriteCheckpointFS(OSFS{}, dir, cp); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := LoadCheckpoint(dir); err != nil || got == nil || got.Seq != 1 {
+		t.Fatalf("recovered checkpoint = %+v, %v", got, err)
+	}
+}
+
+// A sticky fault keeps failing matching operations; Fired reports it.
+func TestFaultFSSticky(t *testing.T) {
+	fs := NewFaultFS(FaultEIO, 1, FaultSticky())
+	f, err := fs.Create(filepath.Join(t.TempDir(), "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); !errors.Is(err, ErrDiskIO) {
+			t.Fatalf("write %d = %v, want ErrDiskIO", i, err)
+		}
+	}
+	if !fs.Fired() {
+		t.Fatal("Fired() = false after injection")
+	}
+	f.Close()
+}

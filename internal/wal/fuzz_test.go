@@ -1,0 +1,50 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// FuzzReadRecords drives the WAL frame decoder with arbitrary bytes. The
+// decoder must never panic, a strictly-readable log must also read
+// tolerantly with nothing dropped, and every record the decoder accepts
+// must re-marshal (no unrepresentable values smuggled in off the wire).
+func FuzzReadRecords(f *testing.F) {
+	rec := Record{
+		Type: RecFinishedActivity, Instance: "i1", Path: "A", Iter: 2,
+		Values: map[string]expr.Value{"RC": expr.Int(0), "s": expr.String_("x")},
+	}
+	b, err := Marshal(rec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	clean := append(frameLine(b), '\n')
+	f.Add(append([]byte{}, clean...))
+	f.Add(bytes.Repeat(clean, 3))
+	f.Add(clean[:len(clean)/2])                                 // torn tail
+	f.Add([]byte(`{"t":"created","inst":"i"}` + "\n"))          // legacy plain JSON
+	f.Add([]byte("deadbeef {\"t\":\"done\",\"inst\":\"i\"}\n")) // checksum mismatch
+	f.Add([]byte("\n\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict, serr := ReadAll(bytes.NewReader(data))
+		tol, dropped, terr := ReadAllTolerant(bytes.NewReader(data))
+		if serr == nil {
+			if terr != nil {
+				t.Fatalf("strict read ok but tolerant failed: %v", terr)
+			}
+			if dropped != 0 || len(tol) != len(strict) {
+				t.Fatalf("clean log: tolerant dropped %d bytes, %d vs %d records",
+					dropped, len(tol), len(strict))
+			}
+		}
+		for _, r := range tol {
+			if _, err := Marshal(r); err != nil {
+				t.Fatalf("accepted record does not re-marshal: %v", err)
+			}
+		}
+	})
+}

@@ -45,12 +45,13 @@ type GroupCommitLog struct {
 	crashAfter int
 	shortWrite bool
 
-	mu        sync.Mutex // guards cur, closed, crashed, committed, lastBatch
+	mu        sync.Mutex // guards cur, closed, crashed, failed, committed, lastBatch
 	cur       *gcBatch
 	closed    bool
 	crashed   bool
-	committed int // records durably committed (crash-injection bookkeeping)
-	lastBatch int // size of the last committed batch (herd estimate)
+	failed    error // first batch storage error; non-nil seals the log
+	committed int   // records durably committed (crash-injection bookkeeping)
+	lastBatch int   // size of the last committed batch (herd estimate)
 
 	commitMu sync.Mutex // held while a batch's write+fsync is in flight
 
@@ -161,7 +162,9 @@ func (l *GroupCommitLog) bindMetrics(reg *obs.Registry) {
 
 // Append implements Log. It returns only after the batch containing rec
 // has been written and fsynced (nil), or has failed as a unit (the
-// batch's error, ErrCrash under injection, ErrLogClosed after Close).
+// batch's error, ErrCrash under injection, ErrLogClosed after Close,
+// ErrLogFailed once a previous batch's write or fsync failed and sealed
+// the log).
 func (l *GroupCommitLog) Append(rec Record) error {
 	b, err := Marshal(rec)
 	if err != nil {
@@ -177,6 +180,11 @@ func (l *GroupCommitLog) Append(rec Record) error {
 	if l.crashed {
 		l.mu.Unlock()
 		return ErrCrash
+	}
+	if l.failed != nil {
+		err := fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
+		l.mu.Unlock()
+		return err
 	}
 	leader := l.cur == nil
 	if leader {
@@ -267,6 +275,18 @@ func (l *GroupCommitLog) commit(batch *gcBatch) {
 	} else {
 		start := time.Now()
 		batch.err = l.inner.writeBatch(batch.buf.Bytes(), batch.count)
+		if batch.err != nil {
+			// A batch whose write or fsync failed must fail every append it
+			// carries — and seal the log: a later batch could sync fine while
+			// this batch's bytes were dropped from the page cache, which
+			// would ack records across a hole (acked-append loss on
+			// recovery). See ErrLogFailed.
+			l.mu.Lock()
+			if l.failed == nil {
+				l.failed = batch.err
+			}
+			l.mu.Unlock()
+		}
 		if batch.err == nil {
 			dur := time.Since(start).Nanoseconds()
 			l.flushNs.Observe(dur)
@@ -310,15 +330,21 @@ func (l *GroupCommitLog) Close() error {
 func (l *FileLog) writeBatch(data []byte, records int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.sealedErrLocked()
+	}
 	if _, err := l.w.Write(data); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.sealLocked(fmt.Errorf("wal: %w", err))
 	}
 	start := time.Now()
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.sealLocked(fmt.Errorf("wal: %w", err))
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		// The batch reached the file but its fsync failed: the kernel may
+		// have dropped the dirty pages, so none of the batch's records may
+		// be acknowledged — and no later batch either (fsync-gate).
+		return l.sealLocked(fmt.Errorf("wal: %w", err))
 	}
 	l.fsyncNs.ObserveSince(start)
 	l.appends.Add(int64(records))

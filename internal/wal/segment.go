@@ -56,10 +56,12 @@ func syncDir(dir string) error {
 type SegmentedLog struct {
 	mu         sync.Mutex
 	dir        string
+	fs         FS
 	fsync      bool
 	maxRecords int
 	maxBytes   int64
 	reg        *obs.Registry
+	failed     error // first storage error; non-nil seals the log
 
 	active        *FileLog
 	activeIndex   int
@@ -105,6 +107,12 @@ func SegmentMetricsRegistry(reg *obs.Registry) SegmentOption {
 	return func(l *SegmentedLog) { l.reg = reg }
 }
 
+// SegmentFS substitutes the filesystem beneath every segment file
+// (default OSFS); fault tests pass a FaultFS.
+func SegmentFS(fs FS) SegmentOption {
+	return func(l *SegmentedLog) { l.fs = fs }
+}
+
 // OpenSegmentedLog opens (creating if needed) a segment directory and
 // starts a fresh active segment after any existing ones. Existing
 // segments are never appended to — a reopened log treats them all as
@@ -114,7 +122,7 @@ func OpenSegmentedLog(dir string, opts ...SegmentOption) (*SegmentedLog, error) 
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &SegmentedLog{dir: dir, maxRecords: 1024, maxBytes: 1 << 20, reg: obs.Default}
+	l := &SegmentedLog{dir: dir, fs: OSFS{}, maxRecords: 1024, maxBytes: 1 << 20, reg: obs.Default}
 	for _, o := range opts {
 		o(l)
 	}
@@ -136,7 +144,7 @@ func OpenSegmentedLog(dir string, opts ...SegmentOption) (*SegmentedLog, error) 
 }
 
 func (l *SegmentedLog) openSegmentLocked(index int) error {
-	opts := []FileOption{WithMetricsRegistry(l.reg)}
+	opts := []FileOption{WithMetricsRegistry(l.reg), WithFS(l.fs)}
 	if l.fsync {
 		opts = append(opts, WithFsync())
 	}
@@ -156,6 +164,26 @@ func (l *SegmentedLog) openSegmentLocked(index int) error {
 	return nil
 }
 
+// sealLocked latches the first storage error; every later operation on
+// the sealed log returns ErrLogFailed wrapping it (see ErrLogFailed).
+func (l *SegmentedLog) sealLocked(err error) error {
+	if l.failed == nil {
+		l.failed = err
+	}
+	return err
+}
+
+func (l *SegmentedLog) sealedErrLocked() error {
+	return fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
+}
+
+// Failed reports the storage error that sealed the log, or nil.
+func (l *SegmentedLog) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
 // Append implements Log, rotating afterwards if the active segment
 // crossed a threshold.
 func (l *SegmentedLog) Append(rec Record) error {
@@ -169,8 +197,11 @@ func (l *SegmentedLog) Append(rec Record) error {
 	if l.active == nil {
 		return ErrLogClosed
 	}
+	if l.failed != nil {
+		return l.sealedErrLocked()
+	}
 	if err := l.active.appendFramed(line); err != nil {
-		return err
+		return l.sealLocked(err)
 	}
 	l.activeRecords++
 	l.activeBytes += int64(len(line)) + 1
@@ -186,8 +217,11 @@ func (l *SegmentedLog) writeBatch(data []byte, records int) error {
 	if l.active == nil {
 		return ErrLogClosed
 	}
+	if l.failed != nil {
+		return l.sealedErrLocked()
+	}
 	if err := l.active.writeBatch(data, records); err != nil {
-		return err
+		return l.sealLocked(err)
 	}
 	l.activeRecords += records
 	l.activeBytes += int64(len(data))
@@ -240,7 +274,10 @@ func (l *SegmentedLog) rotateLocked() error {
 		return nil
 	}
 	if err := l.active.Close(); err != nil {
-		return err
+		// A rotation seal (flush+fsync) that fails leaves records of the
+		// closing segment undurable — same fsync-gate stakes as a failed
+		// append, so the whole log seals.
+		return l.sealLocked(err)
 	}
 	l.sealed = append(l.sealed, SegmentInfo{Index: l.activeIndex, Path: segPath(l.dir, l.activeIndex)})
 	l.rotations.Inc()
@@ -260,7 +297,14 @@ func (l *SegmentedLog) Close() error {
 	}
 	err := l.active.Close()
 	l.active = nil
-	return err
+	if l.failed != nil {
+		return l.sealedErrLocked()
+	}
+	if err != nil {
+		l.sealLocked(err)
+		return l.sealedErrLocked()
+	}
+	return nil
 }
 
 // Dir returns the segment directory.

@@ -194,14 +194,17 @@ func parseLine(line []byte) (Record, error) {
 // the metrics registry — obs.Default unless WithMetricsRegistry redirects
 // it; metric names are listed in DESIGN.md ("Observability").
 type FileLog struct {
-	mu    sync.Mutex
-	f     *os.File
-	w     *bufio.Writer
-	fsync bool
+	mu     sync.Mutex
+	fs     FS
+	f      File
+	w      *bufio.Writer
+	fsync  bool
+	failed error // first storage error; non-nil seals the log
 
-	appends *obs.Counter   // wal.file.appends
-	bytes   *obs.Counter   // wal.file.bytes
-	fsyncNs *obs.Histogram // wal.fsync_ns
+	appends  *obs.Counter   // wal.file.appends
+	bytes    *obs.Counter   // wal.file.bytes
+	fsyncNs  *obs.Histogram // wal.fsync_ns
+	failures *obs.Counter   // wal.failures
 }
 
 // FileOption configures a FileLog.
@@ -221,24 +224,61 @@ func WithMetricsRegistry(reg *obs.Registry) FileOption {
 	return func(l *FileLog) { l.bindMetrics(reg) }
 }
 
+// WithFS substitutes the filesystem beneath the log (default OSFS);
+// fault tests pass a FaultFS to inject storage errors at scheduled
+// operation counts.
+func WithFS(fs FS) FileOption {
+	return func(l *FileLog) { l.fs = fs }
+}
+
 func (l *FileLog) bindMetrics(reg *obs.Registry) {
 	l.appends = reg.Counter("wal.file.appends")
 	l.bytes = reg.Counter("wal.file.bytes")
 	l.fsyncNs = reg.Histogram("wal.fsync_ns")
+	l.failures = reg.Counter("wal.failures")
 }
 
 // OpenFileLog creates (or truncates) a file-backed log.
 func OpenFileLog(path string, opts ...FileOption) (*FileLog, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, fmt.Errorf("wal: %w", err)
-	}
-	l := &FileLog{f: f, w: bufio.NewWriter(f)}
+	l := &FileLog{fs: OSFS{}}
 	l.bindMetrics(obs.Default)
 	for _, o := range opts {
 		o(l)
 	}
+	f, err := l.fs.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
 	return l, nil
+}
+
+// sealLocked records the first storage error, counts it, and publishes a
+// wal.failed event; the log is sealed from here on (see ErrLogFailed).
+// It returns err so error paths can `return l.sealLocked(err)`.
+func (l *FileLog) sealLocked(err error) error {
+	if l.failed == nil {
+		l.failed = err
+		l.failures.Inc()
+		if obs.DefaultBus.Active() {
+			obs.DefaultBus.Publish(obs.Event{Kind: obs.EvWalFailed, Cause: err.Error()})
+		}
+	}
+	return err
+}
+
+// sealedErrLocked is the error every operation on a sealed log returns:
+// ErrLogFailed wrapping the original cause.
+func (l *FileLog) sealedErrLocked() error {
+	return fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
+}
+
+// Failed reports the storage error that sealed the log, or nil.
+func (l *FileLog) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // Append implements Log.
@@ -257,20 +297,23 @@ func (l *FileLog) Append(rec Record) error {
 func (l *FileLog) appendFramed(line []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.sealedErrLocked()
+	}
 	n, err := l.w.Write(line)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.sealLocked(fmt.Errorf("wal: %w", err))
 	}
 	if err := l.w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.sealLocked(fmt.Errorf("wal: %w", err))
 	}
 	if l.fsync {
 		start := time.Now()
 		if err := l.w.Flush(); err != nil {
-			return fmt.Errorf("wal: %w", err)
+			return l.sealLocked(fmt.Errorf("wal: %w", err))
 		}
 		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: %w", err)
+			return l.sealLocked(fmt.Errorf("wal: %w", err))
 		}
 		dur := time.Since(start).Nanoseconds()
 		l.fsyncNs.Observe(dur)
@@ -306,16 +349,25 @@ func (l *FileLog) writeRaw(b []byte) error {
 }
 
 // Close flushes buffered records, syncs, and closes the underlying file.
+// Closing a sealed log closes the file handle but still reports the
+// sealed state — buffered data past the fault is not trustworthy and is
+// not re-flushed.
 func (l *FileLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
+	if l.failed != nil {
 		l.f.Close()
-		return fmt.Errorf("wal: %w", err)
+		return l.sealedErrLocked()
+	}
+	if err := l.w.Flush(); err != nil {
+		l.sealLocked(fmt.Errorf("wal: %w", err))
+		l.f.Close()
+		return l.sealedErrLocked()
 	}
 	if err := l.f.Sync(); err != nil {
+		l.sealLocked(fmt.Errorf("wal: %w", err))
 		l.f.Close()
-		return fmt.Errorf("wal: %w", err)
+		return l.sealedErrLocked()
 	}
 	return l.f.Close()
 }
@@ -531,6 +583,12 @@ func scanTolerant(data []byte) (recs []Record, validLen, droppedBytes int, err e
 		}
 		line := data[off:end]
 		lineNo++
+		// Strip one trailing carriage return for parity with the strict
+		// reader, whose bufio.ScanLines does the same — otherwise a log
+		// that reads clean strictly could report dropped bytes here.
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
 		if len(line) == 0 {
 			off = next
 			validLen = off
@@ -546,7 +604,11 @@ func scanTolerant(data []byte) (recs []Record, validLen, droppedBytes int, err e
 					rend = rest + i
 					rnext = rend + 1
 				}
-				if rend > rest {
+				rline := data[rest:rend]
+				if n := len(rline); n > 0 && rline[n-1] == '\r' {
+					rline = rline[:n-1]
+				}
+				if len(rline) > 0 {
 					return nil, 0, 0, fmt.Errorf("wal: line %d: %w (followed by further records — mid-log corruption)", lineNo, perr)
 				}
 				rest = rnext
