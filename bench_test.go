@@ -4,8 +4,10 @@
 package exotica_test
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -463,5 +465,84 @@ func BenchmarkWALCompact(b *testing.B) {
 		if got := wal.Compact(records); len(got) >= len(records) {
 			b.Fatal("compaction removed nothing")
 		}
+	}
+}
+
+// ---------------------------------------------------------------- B13 ---
+
+// benchRecord is the representative navigation-step record the B13
+// encode/decode/append benchmarks measure.
+func benchRecord() wal.Record {
+	return wal.Record{
+		Type: wal.RecFinishedActivity, Instance: "inst-000042", Path: "Book/Flight", Iter: 1,
+		Values: sim.Chain("x", 1).Types.MustContainer(model.DefaultType).Snapshot(),
+	}
+}
+
+func BenchmarkWALEncode(b *testing.B) {
+	rec := benchRecord()
+	for _, f := range []wal.Format{wal.FormatText, wal.FormatBinary} {
+		b.Run(f.String(), func(b *testing.B) {
+			var buf []byte
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = wal.EncodeRecord(buf[:0], rec, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWALDecode(b *testing.B) {
+	rec := benchRecord()
+	const n = 1000
+	for _, f := range []wal.Format{wal.FormatText, wal.FormatBinary} {
+		b.Run(f.String(), func(b *testing.B) {
+			var data []byte
+			if f == wal.FormatBinary {
+				data = append(data, wal.FileHeader(f)...)
+			}
+			for i := 0; i < n; i++ {
+				var err error
+				data, err = wal.EncodeRecord(data, rec, f)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recs, err := wal.ReadAll(bytes.NewReader(data))
+				if err != nil || len(recs) != n {
+					b.Fatalf("%d records, %v", len(recs), err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALFileAppend is the end-to-end append hot path without
+// per-record fsync (the group-commit regime). The binary/allocs figure is
+// the B13 zero-alloc gate.
+func BenchmarkWALFileAppend(b *testing.B) {
+	rec := benchRecord()
+	for _, f := range []wal.Format{wal.FormatText, wal.FormatBinary} {
+		b.Run(f.String(), func(b *testing.B) {
+			l, err := wal.OpenFileLog(filepath.Join(b.TempDir(), "bench.wal"), wal.WithFormat(f))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

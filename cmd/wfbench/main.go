@@ -1,7 +1,7 @@
 // Command wfbench regenerates the evaluation of EXPERIMENTS.md: the
 // correctness experiments E1–E10 that reproduce the paper's figures and
 // appendix traces (plus the WAL, checkpoint and storage-fault chaos
-// soaks), and the measurement tables B1–B12.
+// soaks), and the measurement tables B1–B13.
 //
 //	wfbench                  # run everything
 //	wfbench -experiment E2   # one correctness experiment
@@ -29,7 +29,7 @@ func main() {
 
 func realMain() int {
 	exp := flag.String("experiment", "all", "E1..E10, all, or none")
-	bench := flag.String("bench", "all", "B1..B12, S1, all, or none")
+	bench := flag.String("bench", "all", "B1..B13, S1, all, or none")
 	jsonOut := flag.String("json", "", "write every report as machine-readable JSON (wfbench/v1) to this file")
 	flightDump := flag.String("flight-dump", "", "attach a flight recorder to the default event bus and dump its JSONL here at exit")
 	flag.Parse()
@@ -58,7 +58,7 @@ func realMain() int {
 	benches := map[string]func() *sim.Report{
 		"B1": sim.RunB1, "B2": sim.RunB2, "B3": sim.RunB3, "B4": sim.RunB4,
 		"B5": sim.RunB5, "B6": sim.RunB6, "B7": sim.RunB7, "B8": sim.RunB8, "B9": sim.RunB9,
-		"B10": sim.RunB10, "B11": sim.RunB11, "B12": sim.RunB12,
+		"B10": sim.RunB10, "B11": sim.RunB11, "B12": sim.RunB12, "B13": sim.RunB13,
 		"S1": sim.RunS1,
 	}
 
@@ -97,7 +97,7 @@ func realMain() int {
 	}
 	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"})
 	if code != 2 {
-		run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12", "S1"})
+		run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12", "B13", "S1"})
 	}
 	if bf != nil && code != 2 {
 		if err := bf.WriteFile(*jsonOut); err != nil {

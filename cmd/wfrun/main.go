@@ -91,6 +91,7 @@ func main() {
 	process := flag.String("process", "", "process template to instantiate (default: the file's first process)")
 	trace := flag.Bool("trace", true, "print the audit trail")
 	walPath := flag.String("wal", "", "write the navigation log to this file (default: in-memory)")
+	walFormat := flag.String("wal-format", "text", "record framing for new WAL files/segments: text or binary (requires -wal; existing files replay either way)")
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every record (requires -wal)")
 	crashAt := flag.Int("crash-at", 0, "inject a crash after N WAL records, then repair and recover (requires -wal)")
 	metrics := flag.Bool("metrics", false, "dump the metric registry (Prometheus text format) after the run")
@@ -136,6 +137,10 @@ func main() {
 		usageError("-fsync and -crash-at require -wal")
 	case *walPath == "" && *groupCommit:
 		usageError("-group-commit requires -wal")
+	case *walPath == "" && explicit["wal-format"]:
+		usageError("-wal-format requires -wal")
+	case *walFormat != "text" && *walFormat != "binary":
+		usageError("-wal-format must be text or binary")
 	case !*groupCommit && (explicit["flush-ms"] || explicit["batch"]):
 		usageError("-flush-ms and -batch require -group-commit")
 	case *flushMs < 0 || *batch < 1:
@@ -299,6 +304,10 @@ func main() {
 	var slog *wal.SegmentedLog
 	var gclog *wal.GroupCommitLog
 	var ckpt *engine.Checkpointer
+	recFormat := wal.FormatText
+	if *walFormat == "binary" {
+		recFormat = wal.FormatBinary
+	}
 	if *walPath != "" {
 		if *ckptDir != "" {
 			// Checkpointed mode: -wal names a segment directory; a
@@ -308,6 +317,7 @@ func main() {
 			if *fsync {
 				sopts = append(sopts, wal.SegmentFsync())
 			}
+			sopts = append(sopts, wal.SegmentFormat(recFormat))
 			slog, err = wal.OpenSegmentedLog(*walPath, sopts...)
 			if err != nil {
 				fatal(err)
@@ -327,6 +337,7 @@ func main() {
 			if *fsync {
 				opts = append(opts, wal.WithFsync())
 			}
+			opts = append(opts, wal.WithFormat(recFormat))
 			flog, err = wal.OpenFileLog(*walPath, opts...)
 			if err != nil {
 				fatal(err)

@@ -121,6 +121,21 @@ func allTerminal(st *obs.Status) bool {
 // the States summary above it always covers everything.
 const maxRows = 32
 
+// finishedRate is the finished-instances counter delta over the poll
+// interval, clamped at zero: when the observed process restarts between
+// polls (uptime goes backwards) or its counters reset, the raw delta goes
+// negative and a naive rate would display as negative throughput.
+func finishedRate(st, prev *obs.Status, sincePrev time.Duration) float64 {
+	if st.UptimeNs < prev.UptimeNs {
+		return 0 // restarted between polls; prev's counters are a different life
+	}
+	delta := st.Counters["engine.instances.finished"] - prev.Counters["engine.instances.finished"]
+	if delta < 0 {
+		return 0
+	}
+	return float64(delta) / sincePrev.Seconds()
+}
+
 func render(w *os.File, addr string, st, prev *obs.Status, sincePrev time.Duration) {
 	fmt.Fprintf(w, "wftop  %s  up %s  bus published=%d dropped=%d subscribers=%d\n",
 		addr, (time.Duration(st.UptimeNs) * time.Nanosecond).Round(time.Millisecond),
@@ -141,8 +156,7 @@ func render(w *os.File, addr string, st, prev *obs.Status, sincePrev time.Durati
 	}
 	tput := ""
 	if prev != nil && sincePrev > 0 {
-		delta := st.Counters["engine.instances.finished"] - prev.Counters["engine.instances.finished"]
-		tput = fmt.Sprintf("  %.1f finished/sec", float64(delta)/sincePrev.Seconds())
+		tput = fmt.Sprintf("  %.1f finished/sec", finishedRate(st, prev, sincePrev))
 	}
 	fmt.Fprintf(w, "fleet  %d instances  %s%s\n", total, strings.Join(parts, " "), tput)
 	fmt.Fprintf(w, "queues depth=%d active=%d inflight=%d shed=%d\n",

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestFinishedRateClamps: counter resets and process restarts between
+// polls must read as zero throughput, never a negative rate.
+func TestFinishedRateClamps(t *testing.T) {
+	c := func(n int64) map[string]int64 {
+		return map[string]int64{"engine.instances.finished": n}
+	}
+	sec := time.Second
+	prev := &obs.Status{UptimeNs: 100, Counters: c(50)}
+
+	if r := finishedRate(&obs.Status{UptimeNs: 200, Counters: c(60)}, prev, sec); r != 10 {
+		t.Fatalf("steady rate = %v, want 10", r)
+	}
+	// Counter reset without an uptime regression (registry swapped).
+	if r := finishedRate(&obs.Status{UptimeNs: 200, Counters: c(3)}, prev, sec); r != 0 {
+		t.Fatalf("counter reset rate = %v, want 0", r)
+	}
+	// Full process restart: uptime goes backwards, counters restart too —
+	// even a delta that happens to be positive is from a different life.
+	if r := finishedRate(&obs.Status{UptimeNs: 5, Counters: c(70)}, prev, sec); r != 0 {
+		t.Fatalf("restart rate = %v, want 0", r)
+	}
+	if r := finishedRate(&obs.Status{UptimeNs: 200, Counters: c(50)}, prev, sec); r != 0 {
+		t.Fatalf("idle rate = %v, want 0", r)
+	}
+}

@@ -313,3 +313,166 @@ func TestCheckpointerBackground(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointRotationBoundary is the sealed-segment off-by-one audit:
+// when rotations land between (and during) checkpoint passes, every sealed
+// segment must be folded into exactly one checkpoint — records neither
+// lost at the cover boundary nor folded twice — and segment retention must
+// keep exactly the previous checkpoint's tail, deleting the segment whose
+// index equals prev.Cover but never prev.Cover+1. Records are distinct
+// finished activities so Compact keeps all of them and any duplicate or
+// gap is visible in the checkpoint's record list.
+func TestCheckpointRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	slog, err := wal.OpenSegmentedLog(dir, wal.SegmentMaxRecords(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := NewCheckpointer(slog, CheckpointEveryRecords(2))
+
+	next := 0
+	appendN := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			rec := wal.Record{Type: wal.RecFinishedActivity, Instance: "x",
+				Path: fmt.Sprintf("A%03d", next), Iter: 0}
+			if next == 0 {
+				rec = wal.Record{Type: wal.RecCreated, Instance: "x", Process: "P"}
+			}
+			if err := slog.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	}
+	// wantRecords checks cp holds the created record plus every finished
+	// activity with index < n, each exactly once, in causal order.
+	wantRecords := func(cp *wal.Checkpoint, n int) {
+		t.Helper()
+		if len(cp.Records) != n {
+			t.Fatalf("seq %d: %d records folded, want %d (lost or double-folded at cover %d)",
+				cp.Seq, len(cp.Records), n, cp.Cover)
+		}
+		for i, r := range cp.Records {
+			want := fmt.Sprintf("A%03d", i)
+			if i == 0 {
+				if r.Type != wal.RecCreated {
+					t.Fatalf("seq %d: record 0 is %+v, want created", cp.Seq, r)
+				}
+				continue
+			}
+			if r.Type != wal.RecFinishedActivity || r.Path != want {
+				t.Fatalf("seq %d: record %d is %s/%s, want %s", cp.Seq, i, r.Type, r.Path, want)
+			}
+		}
+	}
+
+	// Pass 1: 5 appends → segment 1 auto-seals at 3 records, active holds
+	// 2; the record trigger rotates mid-pass, so the pass folds BOTH a
+	// previously sealed segment and one sealed by its own rotation.
+	appendN(5)
+	if err := ck.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := wal.LoadCheckpoint(dir)
+	if err != nil || cp == nil {
+		t.Fatalf("load after pass 1: %v", err)
+	}
+	wantRecords(cp, 5)
+	sealedMax := 0
+	for _, s := range slog.SealedSegments() {
+		if s.Index > sealedMax {
+			sealedMax = s.Index
+		}
+	}
+	if cp.Cover != sealedMax {
+		t.Fatalf("pass 1: cover %d, sealed max %d", cp.Cover, sealedMax)
+	}
+	cover1 := cp.Cover
+
+	// A pass with one active record and nothing newly sealed must write
+	// nothing (no empty-fold checkpoint advancing Cover past real data).
+	appendN(1)
+	if err := ck.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if cps, _ := wal.ListCheckpoints(dir); len(cps) != 1 {
+		t.Fatalf("idle pass wrote a checkpoint: %v", cps)
+	}
+
+	// Pass 2: another record arms the rotate trigger; the new checkpoint
+	// chains from cp1 and must fold exactly the segments in (cover1, new].
+	appendN(1)
+	if err := ck.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err = wal.LoadCheckpoint(dir)
+	if err != nil || cp == nil || cp.Seq != 2 {
+		t.Fatalf("load after pass 2: %+v err=%v", cp, err)
+	}
+	wantRecords(cp, 7)
+	if cp.Cover <= cover1 {
+		t.Fatalf("pass 2: cover did not advance (%d -> %d)", cover1, cp.Cover)
+	}
+
+	// Pass 3 triggers pruning (two checkpoints already on disk). Segments
+	// with index <= cp2.Cover are redundant for both retained rungs;
+	// index == cp2.Cover+1 is cp2's tail and must survive.
+	cover2 := cp.Cover
+	appendN(2)
+	if err := ck.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	cps, err := wal.ListCheckpoints(dir)
+	if err != nil || len(cps) != 2 {
+		t.Fatalf("retention: %v err=%v", cps, err)
+	}
+	if cps[0].Seq != 2 || cps[1].Seq != 3 {
+		t.Fatalf("retained wrong checkpoints: %+v", cps)
+	}
+	segs, err := wal.ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s.Index <= cover2 {
+			t.Fatalf("segment %d (<= prev cover %d) survived pruning", s.Index, cover2)
+		}
+	}
+	minLeft := segs[0].Index
+	for _, s := range segs {
+		if s.Index < minLeft {
+			minLeft = s.Index
+		}
+	}
+	if minLeft != cover2+1 {
+		t.Fatalf("previous checkpoint's tail pruned: oldest segment %d, want %d", minLeft, cover2+1)
+	}
+
+	// The ladder still works end to end: newest checkpoint + repaired tail
+	// reads back every record exactly once.
+	if err := slog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err = wal.LoadCheckpoint(dir)
+	if err != nil || cp == nil {
+		t.Fatal(err)
+	}
+	tail, _, err := wal.RepairSegments(dir, cp.Cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for _, r := range append(append([]wal.Record{}, cp.Records...), tail...) {
+		key := string(r.Type) + "/" + r.Path
+		seen[key]++
+	}
+	if len(seen) != next {
+		t.Fatalf("checkpoint+tail hold %d distinct records, want %d", len(seen), next)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %s appears %d times across checkpoint+tail", key, n)
+		}
+	}
+}

@@ -71,6 +71,7 @@ type scope struct {
 type actState struct {
 	act    *model.Activity
 	sc     *scope
+	joined string // cached scope-qualified path (see path())
 	state  State
 	dead   bool
 	iter   int
@@ -90,11 +91,19 @@ type actState struct {
 	progNs  int64
 }
 
+// path returns the activity's scope-qualified path. The join is computed
+// once and cached: path() is called on every navigation step (WAL record,
+// trail event, bus publish), and re-concatenating would make each step
+// allocate even when nothing is listening.
 func (as *actState) path() string {
-	if as.sc.path == "" {
-		return as.act.Name
+	if as.joined == "" {
+		if as.sc.path == "" {
+			as.joined = as.act.Name
+		} else {
+			as.joined = as.sc.path + "/" + as.act.Name
+		}
 	}
-	return as.sc.path + "/" + as.act.Name
+	return as.joined
 }
 
 // Instance is one execution of a process template. Instances are not safe

@@ -124,3 +124,28 @@ func TestQuantileEmptyAndEdge(t *testing.T) {
 		t.Fatalf("zero snapshot quantile = %d", v)
 	}
 }
+
+// TestQuantilePathologicalSnapshots feeds Quantile the inconsistent
+// snapshots a counter reset or racing scrape can produce: a declared count
+// with no bucket mass, bucket mass exceeding the count, and inverted
+// Min/Max. The estimator must not panic and must stay inside [Min, Max].
+func TestQuantilePathologicalSnapshots(t *testing.T) {
+	cases := []HistogramSnapshot{
+		{Count: 5, MinNs: 10, MaxNs: 20}, // no buckets at all
+		{Count: 1, MinNs: 10, MaxNs: 20, Buckets: []BucketSnapshot{{LE: 100, Count: 9}}},
+		{Count: 3, MinNs: 50, MaxNs: 10, Buckets: []BucketSnapshot{{LE: -1, Count: 3}}},
+		{Count: 2, MinNs: 0, MaxNs: 0, Buckets: []BucketSnapshot{{LE: 10, Count: 2}}},
+	}
+	for i, snap := range cases {
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			v := snap.Quantile(q)
+			lo, hi := snap.MinNs, snap.MaxNs
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if v < lo || v > hi {
+				t.Fatalf("case %d q=%v: %d outside [%d, %d]", i, q, v, lo, hi)
+			}
+		}
+	}
+}

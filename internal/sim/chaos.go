@@ -46,8 +46,8 @@ func sagaEventsFromRuns(spec *saga.Spec, inst *engine.Instance) []rm.Event {
 	return events
 }
 
-// e10Backend opens one of the two durable backends under a fault
-// filesystem and exposes the handles the sweep needs.
+// e10Backend opens one of the durable backends under a fault filesystem
+// and exposes the handles the sweep needs.
 type e10Backend struct {
 	name string
 	// open returns the group-commit front, a close function for the
@@ -76,6 +76,21 @@ func e10Backends() []e10Backend {
 			open: func(dir string, fs wal.FS) (*wal.GroupCommitLog, func() error, func() ([]wal.Record, int, error), error) {
 				slog, err := wal.OpenSegmentedLog(dir,
 					wal.SegmentMaxRecords(8), wal.SegmentFS(fs),
+					wal.SegmentMetricsRegistry(obs.NewRegistry()))
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				g := wal.NewGroupCommitSegmented(slog, wal.GroupWithMetricsRegistry(obs.NewRegistry()))
+				repair := func() ([]wal.Record, int, error) { return wal.RepairSegments(dir, 0) }
+				return g, g.Close, repair, nil
+			},
+		},
+		{
+			name: "group commit / segmented binary",
+			open: func(dir string, fs wal.FS) (*wal.GroupCommitLog, func() error, func() ([]wal.Record, int, error), error) {
+				slog, err := wal.OpenSegmentedLog(dir,
+					wal.SegmentMaxRecords(8), wal.SegmentFS(fs),
+					wal.SegmentFormat(wal.FormatBinary),
 					wal.SegmentMetricsRegistry(obs.NewRegistry()))
 				if err != nil {
 					return nil, nil, nil, err
@@ -174,7 +189,8 @@ func e10Run(log wal.Log) (*engine.FleetResult, error) {
 
 // RunE10 is the storage-fault chaos soak — the deterministic harness for
 // the PR's fault domain. For each durable backend (group-committed
-// FileLog and SegmentedLog) it first runs the travel-saga fleet over a
+// FileLog, SegmentedLog, and SegmentedLog with binary-framed records) it
+// first runs the travel-saga fleet over a
 // count-only FaultFS to size the schedule, then replays the identical
 // workload once per (fault kind x FS op boundary): EIO and ENOSPC write
 // failures and post-write fsync failures, injected at every Write/Sync

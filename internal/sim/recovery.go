@@ -63,14 +63,18 @@ func segmentBytes(dir string) int64 {
 //
 //   - both E7 workloads (travel saga on the compensation path, Figure 3
 //     flexible transaction) crash at every record boundary — clean and
-//     short-write — over a SegmentedLog; a checkpoint pass folds the
-//     segments sealed at crash time (the checkpointer reads only sealed,
-//     immutable files, so a post-crash pass is byte-identical to a
-//     background pass that ran just before the crash), and recovery seeds
-//     from the checkpoint plus the repaired tail. Crash points inside the
-//     compensation phase exercise checkpoints taken mid-compensation;
-//     crash points just after a rotation leave an empty or torn fresh
-//     segment behind.
+//     short-write, in both the text and the binary record framing — over a
+//     SegmentedLog; a checkpoint pass folds the segments sealed at crash
+//     time (the checkpointer reads only sealed, immutable files, so a
+//     post-crash pass is byte-identical to a background pass that ran just
+//     before the crash), and recovery seeds from the checkpoint plus the
+//     repaired tail. Crash points inside the compensation phase exercise
+//     checkpoints taken mid-compensation; crash points just after a
+//     rotation leave an empty or torn fresh segment behind.
+//   - a mixed-format handoff: a text-era segment directory is reopened
+//     with the binary format, crashed at every binary record boundary with
+//     a torn frame, and both the text-era and binary-era instances must
+//     recover across the framing switch.
 //   - the ladder cases: a leftover checkpoint .tmp file is ignored, a
 //     torn newest checkpoint falls back to the previous one, and a run
 //     whose only checkpoint is damaged (nothing pruned yet) falls all the
@@ -86,7 +90,7 @@ func RunE9() *Report {
 	r := &Report{
 		ID:      "E9",
 		Title:   "checkpointed recovery soak: segmented WAL + checkpoint ladder, identical outcome at every crash point",
-		Columns: []string{"case", "mode", "records", "crash points", "ckpt recoveries", "torn tails", "recovered ok"},
+		Columns: []string{"case", "format", "mode", "records", "crash points", "ckpt recoveries", "torn tails", "recovered ok"},
 		Pass:    true,
 	}
 	root, err := os.MkdirTemp("", "ckpt-soak")
@@ -123,90 +127,200 @@ func RunE9() *Report {
 		baseTrail := fmt.Sprint(trailStrings(base))
 		total := clean.Len()
 
-		for _, mode := range []struct {
-			name       string
-			shortWrite bool
-		}{{"clean crash", false}, {"short write", true}} {
-			okAll := true
-			ckptUsed := 0
-			repaired := 0
-			for crashAt := 1; crashAt < total && okAll; crashAt++ {
-				dir := caseDir("sweep")
-				slog, err := wal.OpenSegmentedLog(dir, wal.SegmentMaxRecords(4))
-				if err != nil {
-					okAll = false
-					break
+		for _, format := range []wal.Format{wal.FormatText, wal.FormatBinary} {
+			for _, mode := range []struct {
+				name       string
+				shortWrite bool
+			}{{"clean crash", false}, {"short write", true}} {
+				okAll := true
+				ckptUsed := 0
+				repaired := 0
+				for crashAt := 1; crashAt < total && okAll; crashAt++ {
+					dir := caseDir("sweep")
+					slog, err := wal.OpenSegmentedLog(dir, wal.SegmentMaxRecords(4), wal.SegmentFormat(format))
+					if err != nil {
+						okAll = false
+						break
+					}
+					fl := wal.NewSegmentedFaultLog(slog, crashAt, mode.shortWrite)
+					e2, proc2 := w.mk()
+					inst, err := e2.CreateInstance(proc2, nil, fl)
+					if err != nil {
+						okAll = false
+						break
+					}
+					if err := inst.Start(); !errors.Is(err, wal.ErrCrash) {
+						okAll = false
+						break
+					}
+					// Fold the segments sealed at crash time into a checkpoint,
+					// then flush the torn active segment to disk.
+					ck := engine.NewCheckpointer(slog)
+					if err := ck.CheckpointNow(); err != nil {
+						okAll = false
+						break
+					}
+					if err := slog.Close(); err != nil {
+						okAll = false
+						break
+					}
+					cp, err := wal.LoadCheckpoint(dir)
+					if err != nil {
+						okAll = false
+						break
+					}
+					cover := 0
+					if cp != nil {
+						ckptUsed++
+						cover = cp.Cover
+					}
+					tail, dropped, err := wal.RepairSegments(dir, cover)
+					if err != nil {
+						okAll = false
+						break
+					}
+					if mode.shortWrite && dropped == 0 {
+						okAll = false // the torn tail must have been detected
+						break
+					}
+					if dropped > 0 {
+						repaired++
+					}
+					e3, _ := w.mk()
+					insts, err := engine.RecoverAllFromCheckpoint(e3, cp, tail, nil)
+					if err != nil || len(insts) != 1 {
+						okAll = false
+						break
+					}
+					rec := insts[0]
+					if !rec.Finished() || fmt.Sprint(trailStrings(rec)) != baseTrail || !rec.Output().Equal(base.Output()) {
+						okAll = false
+						break
+					}
 				}
-				fl := wal.NewSegmentedFaultLog(slog, crashAt, mode.shortWrite)
-				e2, proc2 := w.mk()
-				inst, err := e2.CreateInstance(proc2, nil, fl)
-				if err != nil {
-					okAll = false
-					break
+				if ckptUsed == 0 {
+					okAll = false // late crash points must have sealed segments to fold
 				}
-				if err := inst.Start(); !errors.Is(err, wal.ErrCrash) {
-					okAll = false
-					break
+				if !okAll {
+					r.Pass = false
 				}
-				// Fold the segments sealed at crash time into a checkpoint,
-				// then flush the torn active segment to disk.
-				ck := engine.NewCheckpointer(slog)
-				if err := ck.CheckpointNow(); err != nil {
-					okAll = false
-					break
+				verdict := "yes"
+				if !okAll {
+					verdict = "NO"
 				}
-				if err := slog.Close(); err != nil {
-					okAll = false
-					break
-				}
-				cp, err := wal.LoadCheckpoint(dir)
-				if err != nil {
-					okAll = false
-					break
-				}
-				cover := 0
-				if cp != nil {
-					ckptUsed++
-					cover = cp.Cover
-				}
-				tail, dropped, err := wal.RepairSegments(dir, cover)
-				if err != nil {
-					okAll = false
-					break
-				}
-				if mode.shortWrite && dropped == 0 {
-					okAll = false // the torn tail must have been detected
-					break
-				}
-				if dropped > 0 {
-					repaired++
-				}
-				e3, _ := w.mk()
-				insts, err := engine.RecoverAllFromCheckpoint(e3, cp, tail, nil)
-				if err != nil || len(insts) != 1 {
-					okAll = false
-					break
-				}
-				rec := insts[0]
-				if !rec.Finished() || fmt.Sprint(trailStrings(rec)) != baseTrail || !rec.Output().Equal(base.Output()) {
-					okAll = false
-					break
-				}
+				r.AddRow(w.name, format.String(), mode.name, fmt.Sprint(total), fmt.Sprint(total-1),
+					fmt.Sprint(ckptUsed), fmt.Sprint(repaired), verdict)
 			}
-			if ckptUsed == 0 {
-				okAll = false // late crash points must have sealed segments to fold
-			}
-			if !okAll {
-				r.Pass = false
-			}
-			verdict := "yes"
-			if !okAll {
-				verdict = "NO"
-			}
-			r.AddRow(w.name, mode.name, fmt.Sprint(total), fmt.Sprint(total-1),
-				fmt.Sprint(ckptUsed), fmt.Sprint(repaired), verdict)
 		}
 	}
+
+	// Part 1b: mixed-format handoff. Session one runs instance A over a
+	// text-format segmented directory and shuts down cleanly; session two
+	// reopens the same directory with the binary format (old segments keep
+	// their text headers, new ones are binary) and crashes mid-way through
+	// instance B with a torn frame on disk. A checkpoint pass plus
+	// RepairSegments must then recover both instances across the framing
+	// switch with zero acknowledged appends lost.
+	mixedOK := func() error {
+		e, proc := travelWorkload()
+		clean := &wal.MemLog{}
+		base, err := e.CreateInstance(proc, nil, clean)
+		if err == nil {
+			err = base.Start()
+		}
+		if err != nil || !base.Finished() {
+			return fmt.Errorf("baseline: %v", err)
+		}
+		baseTrail := fmt.Sprint(trailStrings(base))
+		total := clean.Len()
+
+		for crashAt := 1; crashAt < total; crashAt++ {
+			dir := caseDir("mixed")
+
+			// Session one: text era. Instance A runs to completion.
+			slog, err := wal.OpenSegmentedLog(dir, wal.SegmentMaxRecords(4))
+			if err != nil {
+				return err
+			}
+			e1, proc1 := travelWorkload()
+			instA, err := e1.CreateInstance(proc1, nil, slog)
+			if err == nil {
+				err = instA.Start()
+			}
+			if err != nil || !instA.Finished() {
+				return fmt.Errorf("crashAt %d text era: %v", crashAt, err)
+			}
+			if err := slog.Close(); err != nil {
+				return err
+			}
+
+			// Session two: reopen binary. Instance B crashes with a torn
+			// frame in a binary segment while the text history sits below.
+			slog2, err := wal.OpenSegmentedLog(dir, wal.SegmentMaxRecords(4), wal.SegmentFormat(wal.FormatBinary))
+			if err != nil {
+				return err
+			}
+			fl := wal.NewSegmentedFaultLog(slog2, crashAt, true)
+			instB, err := e1.CreateInstance(proc1, nil, fl)
+			if err != nil {
+				return err
+			}
+			if err := instB.Start(); !errors.Is(err, wal.ErrCrash) {
+				return fmt.Errorf("crashAt %d: want crash, got %v", crashAt, err)
+			}
+			ck := engine.NewCheckpointer(slog2)
+			if err := ck.CheckpointNow(); err != nil {
+				return err
+			}
+			if err := slog2.Close(); err != nil {
+				return err
+			}
+
+			cp, err := wal.LoadCheckpoint(dir)
+			if err != nil {
+				return err
+			}
+			cover := 0
+			if cp != nil {
+				cover = cp.Cover
+			}
+			tail, dropped, err := wal.RepairSegments(dir, cover)
+			if err != nil {
+				return err
+			}
+			if dropped == 0 {
+				return fmt.Errorf("crashAt %d: torn binary tail not detected", crashAt)
+			}
+			e3, _ := travelWorkload()
+			insts, err := engine.RecoverAllFromCheckpoint(e3, cp, tail, nil)
+			if err != nil {
+				return err
+			}
+			doneN := 0
+			if cp != nil {
+				doneN = len(cp.Done)
+			}
+			if len(insts)+doneN != 2 {
+				return fmt.Errorf("crashAt %d: recovered %d + done %d != 2", crashAt, len(insts), doneN)
+			}
+			for _, rec := range insts {
+				if !rec.Finished() || fmt.Sprint(trailStrings(rec)) != baseTrail || !rec.Output().Equal(base.Output()) {
+					return fmt.Errorf("crashAt %d: mixed-format recovery diverges from baseline", crashAt)
+				}
+			}
+		}
+		return nil
+	}()
+	mixedVerdict := "yes"
+	if mixedOK != nil {
+		mixedVerdict = "NO"
+		r.Pass = false
+		if r.Err == nil {
+			r.Err = fmt.Errorf("E9 mixed-format handoff: %w", mixedOK)
+		}
+	}
+	r.AddRow("mixed: text era then binary reopen, torn binary tail", "text+binary", "short write",
+		"-", "-", "-", "-", mixedVerdict)
 
 	// Part 2: the fallback ladder. A clean travel run checkpointed every 4
 	// records leaves a chain of checkpoints (newest two retained); damaging
@@ -312,7 +426,7 @@ func RunE9() *Report {
 		r.Pass = false
 		r.Err = fmt.Errorf("E9 ladder: %w", ladderOK)
 	}
-	r.AddRow("ladder: .tmp ignored, torn newest -> previous", "-", "-", "2", "1", "1", verdict)
+	r.AddRow("ladder: .tmp ignored, torn newest -> previous", "text", "-", "-", "2", "1", "1", verdict)
 
 	// Bottom rung: a run with a single checkpoint (nothing pruned yet)
 	// whose checkpoint is damaged must recover by full replay.
@@ -396,7 +510,7 @@ func RunE9() *Report {
 			r.Err = fmt.Errorf("E9 full-replay rung: %w", fullOK)
 		}
 	}
-	r.AddRow("ladder: only ckpt damaged -> full replay", "-", "-", "1", "0", "0", verdict)
+	r.AddRow("ladder: only ckpt damaged -> full replay", "text", "-", "-", "1", "0", "0", verdict)
 
 	// Part 3: fleet over a group-committed segmented log, crashed at every
 	// batch boundary (the E8 durability contract, extended to checkpoints).
@@ -535,7 +649,7 @@ func RunE9() *Report {
 		if !okAll {
 			verdict = "NO"
 		}
-		r.AddRow(fmt.Sprintf("fleet %dx chain(%d) group commit", fleet, chainN), mode.name,
+		r.AddRow(fmt.Sprintf("fleet %dx chain(%d) group commit", fleet, chainN), "text", mode.name,
 			fmt.Sprint(total), fmt.Sprint(total-1), fmt.Sprint(ckptUsed), fmt.Sprint(repaired), verdict)
 	}
 	return r

@@ -76,17 +76,18 @@ func flexibleWorkload() (*engine.Engine, string) {
 
 // RunE7 is the crash-point soak for the file-backed WAL: run the travel
 // saga and the Figure 3 flexible transaction to completion over a real
-// FileLog, then re-run each workload with a FaultLog that kills the server
-// at every record boundary — both as a clean crash (the record never
-// reaches the file) and as a short write (a torn half-record lands on
-// disk). Each crashed log is repaired with RepairFile (truncate-and-resume)
-// and recovered; the soak passes only if every recovery reproduces the
-// baseline's audit trail and a bit-identical final output container.
+// FileLog — in both the text and the binary record framing — then re-run
+// each workload with a FaultLog that kills the server at every record
+// boundary, both as a clean crash (the record never reaches the file) and
+// as a short write (a torn partial frame lands on disk). Each crashed log
+// is repaired with RepairFile (truncate-and-resume) and recovered; the
+// soak passes only if every recovery reproduces the baseline's audit
+// trail and a bit-identical final output container.
 func RunE7() *Report {
 	r := &Report{
 		ID:      "E7",
 		Title:   "WAL soak: crash + short-write at every file-log record boundary, repair, identical outcome",
-		Columns: []string{"workload", "mode", "log records", "crash points", "torn tails repaired", "recovered ok"},
+		Columns: []string{"workload", "format", "mode", "log records", "crash points", "torn tails repaired", "recovered ok"},
 		Pass:    true,
 	}
 	type workload struct {
@@ -103,101 +104,109 @@ func RunE7() *Report {
 	defer os.RemoveAll(dir)
 
 	for _, w := range []workload{{"travel saga abort@book_car", travelWorkload}, {"flexible Fig.3 abort@T6", flexibleWorkload}} {
-		path := filepath.Join(dir, "soak.wal")
-
-		// Baseline run over a durable (fsync-on-append) file log.
-		flog, err := wal.OpenFileLog(path, wal.WithFsync())
-		if err != nil {
-			r.Pass = false
-			r.Err = err
-			return r
-		}
-		e, proc := w.mk()
-		base, err := e.CreateInstance(proc, nil, flog)
-		if err == nil {
-			err = base.Start()
-		}
-		if cerr := flog.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil || !base.Finished() {
-			r.Pass = false
-			r.Err = fmt.Errorf("E7 %s baseline: %v", w.name, err)
-			return r
-		}
-		baseTrail := fmt.Sprint(trailStrings(base))
-		records, err := wal.ReadFile(path) // strict read: every CRC must verify
-		if err != nil {
-			r.Pass = false
-			r.Err = fmt.Errorf("E7 %s baseline read-back: %v", w.name, err)
-			return r
-		}
-		total := len(records)
-
-		for _, mode := range []struct {
-			name       string
-			shortWrite bool
-		}{{"clean crash", false}, {"short write", true}} {
-			okAll := true
-			repaired := 0
-			for crashAt := 1; crashAt < total; crashAt++ {
-				flog, err := wal.OpenFileLog(path)
-				if err != nil {
-					okAll = false
-					break
-				}
-				fl := wal.NewFaultLog(flog, crashAt, mode.shortWrite)
-				e2, proc2 := w.mk()
-				inst, err := e2.CreateInstance(proc2, nil, fl)
-				if err != nil {
-					okAll = false
-					break
-				}
-				if err := inst.Start(); !errors.Is(err, wal.ErrCrash) {
-					okAll = false
-					break
-				}
-				if err := flog.Close(); err != nil {
-					okAll = false
-					break
-				}
-				recs, dropped, err := wal.RepairFile(path)
-				if err != nil || len(recs) != crashAt {
-					okAll = false
-					break
-				}
-				if mode.shortWrite && dropped == 0 {
-					okAll = false // the torn tail must have been detected
-					break
-				}
-				if dropped > 0 {
-					repaired++
-					// The repaired file must now read back clean.
-					if again, err := wal.ReadFile(path); err != nil || len(again) != crashAt {
-						okAll = false
-						break
-					}
-				}
-				e3, _ := w.mk()
-				rec, err := engine.Recover(e3, recs, nil)
-				if err != nil || !rec.Finished() {
-					okAll = false
-					break
-				}
-				if fmt.Sprint(trailStrings(rec)) != baseTrail || !rec.Output().Equal(base.Output()) {
-					okAll = false
-					break
-				}
-			}
-			if !okAll {
-				r.Pass = false
-			}
-			verdict := "yes"
-			if !okAll {
-				verdict = "NO"
-			}
-			r.AddRow(w.name, mode.name, fmt.Sprint(total), fmt.Sprint(total-1), fmt.Sprint(repaired), verdict)
+		for _, format := range []wal.Format{wal.FormatText, wal.FormatBinary} {
+			r.addE7Rows(dir, w.name, format, w.mk)
 		}
 	}
 	return r
+}
+
+// addE7Rows runs one E7 workload in one record format: baseline, then the
+// full crash-point sweep in both crash modes.
+func (r *Report) addE7Rows(dir, name string, format wal.Format, mk func() (*engine.Engine, string)) {
+	path := filepath.Join(dir, fmt.Sprintf("soak-%s.wal", format))
+
+	// Baseline run over a durable (fsync-on-append) file log.
+	flog, err := wal.OpenFileLog(path, wal.WithFsync(), wal.WithFormat(format))
+	if err != nil {
+		r.Pass = false
+		r.Err = err
+		return
+	}
+	e, proc := mk()
+	base, err := e.CreateInstance(proc, nil, flog)
+	if err == nil {
+		err = base.Start()
+	}
+	if cerr := flog.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil || !base.Finished() {
+		r.Pass = false
+		r.Err = fmt.Errorf("E7 %s/%s baseline: %v", name, format, err)
+		return
+	}
+	baseTrail := fmt.Sprint(trailStrings(base))
+	records, err := wal.ReadFile(path) // strict read: every CRC must verify
+	if err != nil {
+		r.Pass = false
+		r.Err = fmt.Errorf("E7 %s/%s baseline read-back: %v", name, format, err)
+		return
+	}
+	total := len(records)
+
+	for _, mode := range []struct {
+		name       string
+		shortWrite bool
+	}{{"clean crash", false}, {"short write", true}} {
+		okAll := true
+		repaired := 0
+		for crashAt := 1; crashAt < total; crashAt++ {
+			flog, err := wal.OpenFileLog(path, wal.WithFormat(format))
+			if err != nil {
+				okAll = false
+				break
+			}
+			fl := wal.NewFaultLog(flog, crashAt, mode.shortWrite)
+			e2, proc2 := mk()
+			inst, err := e2.CreateInstance(proc2, nil, fl)
+			if err != nil {
+				okAll = false
+				break
+			}
+			if err := inst.Start(); !errors.Is(err, wal.ErrCrash) {
+				okAll = false
+				break
+			}
+			if err := flog.Close(); err != nil {
+				okAll = false
+				break
+			}
+			recs, dropped, err := wal.RepairFile(path)
+			if err != nil || len(recs) != crashAt {
+				okAll = false
+				break
+			}
+			if mode.shortWrite && dropped == 0 {
+				okAll = false // the torn tail must have been detected
+				break
+			}
+			if dropped > 0 {
+				repaired++
+				// The repaired file must now read back clean.
+				if again, err := wal.ReadFile(path); err != nil || len(again) != crashAt {
+					okAll = false
+					break
+				}
+			}
+			e3, _ := mk()
+			rec, err := engine.Recover(e3, recs, nil)
+			if err != nil || !rec.Finished() {
+				okAll = false
+				break
+			}
+			if fmt.Sprint(trailStrings(rec)) != baseTrail || !rec.Output().Equal(base.Output()) {
+				okAll = false
+				break
+			}
+		}
+		if !okAll {
+			r.Pass = false
+		}
+		verdict := "yes"
+		if !okAll {
+			verdict = "NO"
+		}
+		r.AddRow(name, format.String(), mode.name, fmt.Sprint(total), fmt.Sprint(total-1), fmt.Sprint(repaired), verdict)
+	}
 }

@@ -7,10 +7,11 @@ import (
 	"repro/internal/expr"
 )
 
-// FuzzReadRecords drives the WAL frame decoder with arbitrary bytes. The
-// decoder must never panic, a strictly-readable log must also read
-// tolerantly with nothing dropped, and every record the decoder accepts
-// must re-marshal (no unrepresentable values smuggled in off the wire).
+// FuzzReadRecords drives the WAL frame decoder with arbitrary bytes — both
+// framings, since the scanner sniffs the file header. The decoder must
+// never panic, a strictly-readable log must also read tolerantly with
+// nothing dropped, and every record the decoder accepts must re-marshal in
+// both formats (no unrepresentable values smuggled in off the wire).
 func FuzzReadRecords(f *testing.F) {
 	rec := Record{
 		Type: RecFinishedActivity, Instance: "i1", Path: "A", Iter: 2,
@@ -29,6 +30,36 @@ func FuzzReadRecords(f *testing.F) {
 	f.Add([]byte("\n\n"))
 	f.Add([]byte{})
 
+	// Binary-framing seeds: a clean one-record log, a multi-record log
+	// whose payloads carry the PR 6 parity-bug byte classes (\r, \n, 0x00,
+	// empty strings), a torn frame, a torn header, and a bad format byte.
+	nasty := Record{
+		Type: RecFinishedActivity, Instance: "i\r\n1", Path: "A\x00B", Iter: -3,
+		Values: map[string]expr.Value{"": expr.String_(""), "crlf": expr.String_("a\r\nb\x00c")},
+	}
+	binLog := FileHeader(FormatBinary)
+	binLog, err = AppendRecordBinary(binLog, rec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	binLog, err = AppendRecordBinary(binLog, nasty)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte{}, binLog...))
+	f.Add(binLog[:len(binLog)-3])          // torn binary tail
+	f.Add(binLog[:fileHeaderLen-2])        // torn file header
+	f.Add(append(FileHeader(7), clean...)) // unsupported format byte
+
+	// Headered text log (format byte 0) and the same nasty payloads in
+	// text framing.
+	nb, err := Marshal(nasty)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(FileHeader(FormatText), clean...))
+	f.Add(append(frameLine(nb), '\n'))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		strict, serr := ReadAll(bytes.NewReader(data))
 		tol, dropped, terr := ReadAllTolerant(bytes.NewReader(data))
@@ -43,7 +74,10 @@ func FuzzReadRecords(f *testing.F) {
 		}
 		for _, r := range tol {
 			if _, err := Marshal(r); err != nil {
-				t.Fatalf("accepted record does not re-marshal: %v", err)
+				t.Fatalf("accepted record does not re-marshal as text: %v", err)
+			}
+			if _, err := MarshalBinary(r); err != nil {
+				t.Fatalf("accepted record does not re-marshal as binary: %v", err)
 			}
 		}
 	})

@@ -1,7 +1,6 @@
 package wal
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
@@ -29,16 +28,18 @@ var ErrLogClosed = errors.New("wal: log closed")
 // (useful when appenders are few and bursty); GroupMaxBatch bounds the
 // batch size and cuts the window short when reached.
 //
-// The on-disk format is unchanged — the same CRC-framed lines FileLog
-// writes — so ReadFileTolerant / RepairFile recover a group-committed
-// log exactly as a per-record one: a crash mid-flush tears at most the
-// final line, and only records of the torn batch (none of which were
-// acknowledged) can be lost. GroupCrashAfter injects such crashes at
-// batch boundaries for the E8 soak.
+// The on-disk format is unchanged — batches carry exactly the frames the
+// inner log would have written itself, in the inner log's format (text
+// lines or binary frames) — so ReadFileTolerant / RepairFile recover a
+// group-committed log exactly as a per-record one: a crash mid-flush
+// tears at most the final record, and only records of the torn batch
+// (none of which were acknowledged) can be lost. GroupCrashAfter injects
+// such crashes at batch boundaries for the E8 soak.
 //
 // GroupCommitLog is safe for concurrent use.
 type GroupCommitLog struct {
 	inner    batchLog
+	format   Format
 	window   time.Duration
 	maxBatch int
 
@@ -61,17 +62,28 @@ type GroupCommitLog struct {
 	flushNs      *obs.Histogram // wal.group.flush_ns
 }
 
-// gcBatch is one open or in-flight batch. buf holds the framed lines of
-// every record admitted so far; done is closed (after err is set) once
-// the batch is durable or has failed.
+// gcBatch is one open or in-flight batch. buf holds the framed bytes of
+// every record admitted so far — taken from batchBufPool and returned
+// after the flush, so steady-state batching reuses a small set of grown
+// buffers instead of reallocating per batch; done is closed (after err
+// is set) once the batch is durable or has failed.
 type gcBatch struct {
-	buf      bytes.Buffer
+	buf      []byte
+	pooled   *[]byte // pool token holding buf's backing array
 	count    int
 	full     chan struct{} // closed when count reaches maxBatch
 	fullOnce sync.Once
 	done     chan struct{}
 	err      error
 }
+
+// framePool recycles per-append record encode buffers (GroupCommitLog
+// frames records outside its batch lock so encoding never serializes
+// appenders); batchBufPool recycles whole batch buffers.
+var (
+	framePool    = sync.Pool{New: func() any { return new([]byte) }}
+	batchBufPool = sync.Pool{New: func() any { return new([]byte) }}
+)
 
 // GroupOption configures a GroupCommitLog.
 type GroupOption func(*GroupCommitLog)
@@ -117,12 +129,14 @@ func GroupCrashAfter(crashAfter int, shortWrite bool) GroupOption {
 }
 
 // batchLog is what group commit needs from its backing log: a durable
-// batched write, raw-byte injection for fault tests, fsync takeover, and
-// Close. FileLog and SegmentedLog both satisfy it.
+// batched write, raw-byte injection for fault tests, fsync takeover, the
+// record framing to batch in, and Close. FileLog and SegmentedLog both
+// satisfy it.
 type batchLog interface {
 	writeBatch(data []byte, records int) error
 	writeRaw(b []byte) error
 	setFsync(on bool)
+	recFormat() Format
 	Close() error
 }
 
@@ -145,7 +159,7 @@ func NewGroupCommitSegmented(inner *SegmentedLog, opts ...GroupOption) *GroupCom
 
 func newGroupCommit(inner batchLog, opts []GroupOption) *GroupCommitLog {
 	inner.setFsync(false)
-	l := &GroupCommitLog{inner: inner, maxBatch: 64}
+	l := &GroupCommitLog{inner: inner, format: inner.recFormat(), maxBatch: 64}
 	l.bindMetrics(obs.Default)
 	for _, o := range opts {
 		o(l)
@@ -166,38 +180,50 @@ func (l *GroupCommitLog) bindMetrics(reg *obs.Registry) {
 // ErrLogFailed once a previous batch's write or fsync failed and sealed
 // the log).
 func (l *GroupCommitLog) Append(rec Record) error {
-	b, err := Marshal(rec)
+	// Encode outside the batch lock into a pooled scratch buffer so
+	// framing cost never serializes concurrent appenders.
+	bp := framePool.Get().(*[]byte)
+	enc, err := EncodeRecord((*bp)[:0], rec, l.format)
 	if err != nil {
+		framePool.Put(bp)
 		return err
 	}
-	line := frameLine(b)
 
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		*bp = enc[:0]
+		framePool.Put(bp)
 		return ErrLogClosed
 	}
 	if l.crashed {
 		l.mu.Unlock()
+		*bp = enc[:0]
+		framePool.Put(bp)
 		return ErrCrash
 	}
 	if l.failed != nil {
 		err := fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
 		l.mu.Unlock()
+		*bp = enc[:0]
+		framePool.Put(bp)
 		return err
 	}
 	leader := l.cur == nil
 	if leader {
-		l.cur = &gcBatch{full: make(chan struct{}), done: make(chan struct{})}
+		pooled := batchBufPool.Get().(*[]byte)
+		l.cur = &gcBatch{buf: (*pooled)[:0], pooled: pooled,
+			full: make(chan struct{}), done: make(chan struct{})}
 	}
 	batch := l.cur
-	batch.buf.Write(line)
-	batch.buf.WriteByte('\n')
+	batch.buf = append(batch.buf, enc...)
 	batch.count++
 	if batch.count >= l.maxBatch {
 		batch.fullOnce.Do(func() { close(batch.full) })
 	}
 	l.mu.Unlock()
+	*bp = enc[:0]
+	framePool.Put(bp)
 
 	if !leader {
 		<-batch.done
@@ -264,7 +290,7 @@ func (l *GroupCommitLog) commit(batch *gcBatch) {
 
 	if crash {
 		if l.shortWrite {
-			data := batch.buf.Bytes()
+			data := batch.buf
 			n := len(data)/2 + 10
 			if n >= len(data) {
 				n = len(data) - 1
@@ -274,7 +300,7 @@ func (l *GroupCommitLog) commit(batch *gcBatch) {
 		batch.err = ErrCrash
 	} else {
 		start := time.Now()
-		batch.err = l.inner.writeBatch(batch.buf.Bytes(), batch.count)
+		batch.err = l.inner.writeBatch(batch.buf, batch.count)
 		if batch.err != nil {
 			// A batch whose write or fsync failed must fail every append it
 			// carries — and seal the log: a later batch could sync fine while
@@ -299,6 +325,12 @@ func (l *GroupCommitLog) commit(batch *gcBatch) {
 		}
 	}
 	l.commitMu.Unlock()
+	// The batch's bytes are on disk (or abandoned); recycle the buffer
+	// before waking the followers, which only read batch.err.
+	pooled := batch.pooled
+	*pooled = batch.buf[:0]
+	batch.buf, batch.pooled = nil, nil
+	batchBufPool.Put(pooled)
 	close(batch.done)
 }
 

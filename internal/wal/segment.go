@@ -41,7 +41,10 @@ func syncDir(dir string) error {
 
 // SegmentedLog is a FileLog split across rotating segment files in one
 // directory. Each segment uses the identical on-disk record format
-// ("crc8hex json\n" lines), so RepairFile works per segment verbatim; a
+// (text-framed lines or, with SegmentFormat(FormatBinary), headered
+// binary frames — the format travels in each file's header, so a
+// directory may mix formats across process generations), and RepairFile
+// works per segment verbatim; a
 // crash can tear at most the tail of the highest-index (active) segment,
 // because rotation seals a segment with a flush+fsync before the next one
 // is created. Rotation happens when the active segment exceeds a record
@@ -58,10 +61,12 @@ type SegmentedLog struct {
 	dir        string
 	fs         FS
 	fsync      bool
+	format     Format
 	maxRecords int
 	maxBytes   int64
 	reg        *obs.Registry
-	failed     error // first storage error; non-nil seals the log
+	enc        []byte // record encode scratch, reused under mu
+	failed     error  // first storage error; non-nil seals the log
 
 	active        *FileLog
 	activeIndex   int
@@ -113,6 +118,14 @@ func SegmentFS(fs FS) SegmentOption {
 	return func(l *SegmentedLog) { l.fs = fs }
 }
 
+// SegmentFormat selects the record framing of newly created segments
+// (default FormatText). Existing segments keep whatever format their
+// header declares; readers sniff per file, so reopening a text-era
+// directory with FormatBinary yields a valid mixed-format history.
+func SegmentFormat(f Format) SegmentOption {
+	return func(l *SegmentedLog) { l.format = f }
+}
+
 // OpenSegmentedLog opens (creating if needed) a segment directory and
 // starts a fresh active segment after any existing ones. Existing
 // segments are never appended to — a reopened log treats them all as
@@ -144,7 +157,7 @@ func OpenSegmentedLog(dir string, opts ...SegmentOption) (*SegmentedLog, error) 
 }
 
 func (l *SegmentedLog) openSegmentLocked(index int) error {
-	opts := []FileOption{WithMetricsRegistry(l.reg), WithFS(l.fs)}
+	opts := []FileOption{WithMetricsRegistry(l.reg), WithFS(l.fs), WithFormat(l.format)}
 	if l.fsync {
 		opts = append(opts, WithFsync())
 	}
@@ -185,13 +198,9 @@ func (l *SegmentedLog) Failed() error {
 }
 
 // Append implements Log, rotating afterwards if the active segment
-// crossed a threshold.
+// crossed a threshold. Records are encoded into a scratch buffer the log
+// owns, so the steady-state binary append path allocates nothing.
 func (l *SegmentedLog) Append(rec Record) error {
-	b, err := Marshal(rec)
-	if err != nil {
-		return err
-	}
-	line := frameLine(b)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.active == nil {
@@ -200,13 +209,22 @@ func (l *SegmentedLog) Append(rec Record) error {
 	if l.failed != nil {
 		return l.sealedErrLocked()
 	}
-	if err := l.active.appendFramed(line); err != nil {
+	var err error
+	l.enc, err = EncodeRecord(l.enc[:0], rec, l.format)
+	if err != nil {
+		return err
+	}
+	if err := l.active.appendEncoded(l.enc); err != nil {
 		return l.sealLocked(err)
 	}
 	l.activeRecords++
-	l.activeBytes += int64(len(line)) + 1
+	l.activeBytes += int64(len(l.enc))
 	return l.maybeRotateLocked()
 }
+
+// recFormat reports the framing of newly created segments (immutable
+// after open).
+func (l *SegmentedLog) recFormat() Format { return l.format }
 
 // writeBatch appends a pre-framed batch to the active segment in one
 // durable write (GroupCommitLog's flush path), rotating afterwards if a
@@ -377,8 +395,9 @@ func ListSegments(dir string) ([]SegmentInfo, error) {
 }
 
 // ReadSegments strictly reads every record in the segments of dir with
-// index > afterIndex, in order. Any torn or corrupt line is an error —
-// recovery uses RepairSegments instead.
+// index > afterIndex, in order; each segment is decoded in the format its
+// own header declares. Any torn or corrupt record is an error — recovery
+// uses RepairSegments instead.
 func ReadSegments(dir string, afterIndex int) ([]Record, error) {
 	segs, err := ListSegments(dir)
 	if err != nil {
@@ -400,8 +419,9 @@ func ReadSegments(dir string, afterIndex int) ([]Record, error) {
 
 // RepairSegments implements truncate-and-resume recovery across a segment
 // directory: every segment with index > afterIndex is repaired with
-// RepairFile semantics and its surviving records are concatenated in
-// index order. A torn tail is tolerated only where a crash can put one —
+// RepairFile semantics — in whatever format its own header declares, so
+// mixed-format directories recover without configuration — and its
+// surviving records are concatenated in index order. A torn tail is tolerated only where a crash can put one —
 // in the last segment that holds any records (rotation seals earlier
 // segments with an fsync, and a just-rotated empty segment after the torn
 // one is fine); a torn segment followed by records in a later segment is
