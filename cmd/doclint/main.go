@@ -1,7 +1,8 @@
 // Command doclint is the repository's documentation linter, run by the
-// CI docs job. It has two checks, both standard library only:
+// CI docs job. It has three checks, all standard library only:
 //
 //	doclint -md .                         # relative markdown links resolve
+//	doclint -xref .                       # DESIGN.md index <-> EXPERIMENTS.md agree
 //	doclint internal/wal internal/engine  # exported symbols have doc comments
 //
 // The -md check walks the tree for *.md files and verifies that every
@@ -11,6 +12,14 @@
 // requires a package comment plus a doc comment on every exported
 // package-level type, function, method, and const/var group — the same
 // contract go vet's stdlib analyzers assume but do not enforce.
+//
+// The -xref check keeps the two experiment documents from drifting: every
+// measurement table (B1, B2, ...) and correctness experiment / soak (E1,
+// E2, ...) indexed in DESIGN.md's experiment-index table must be
+// mentioned in EXPERIMENTS.md, and every B/E identifier EXPERIMENTS.md
+// mentions (ranges like "E1–E10" are expanded) must have an index row in
+// DESIGN.md — an experiment without an index row is undocumented, an
+// index row without a mention is unmeasured.
 //
 // Exit status: 0 clean, 1 findings (each printed as file:line: message),
 // 2 usage or parse errors.
@@ -27,17 +36,20 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
 	mdRoot := flag.String("md", "", "walk this directory and check relative links in every *.md file")
+	xrefRoot := flag.String("xref", "", "cross-check the B/E experiment identifiers of DESIGN.md and EXPERIMENTS.md in this directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: doclint [-md dir] [package-dir]...\n")
+		fmt.Fprintf(os.Stderr, "usage: doclint [-md dir] [-xref dir] [package-dir]...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if *mdRoot == "" && flag.NArg() == 0 {
+	if *mdRoot == "" && *xrefRoot == "" && flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -50,6 +62,12 @@ func main() {
 
 	if *mdRoot != "" {
 		if err := checkMarkdown(*mdRoot, report); err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *xrefRoot != "" {
+		if err := checkXref(*xrefRoot, report); err != nil {
 			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
 			os.Exit(2)
 		}
@@ -114,6 +132,93 @@ func checkMarkdown(root string, report func(pos, msg string)) error {
 		}
 		return nil
 	})
+}
+
+// xrefIndexRow matches a DESIGN.md experiment-index table row: a table
+// line whose first cell starts with a B/E identifier, e.g. "| B14 |" or
+// "| E7 (WAL soak) |".
+var xrefIndexRow = regexp.MustCompile(`^\|\s*([EB]\d+)\b`)
+
+// xrefID matches a single B/E experiment identifier; xrefRange matches
+// an identifier range like "E1–E10", "E1-E10" or "B1..B14" (the second
+// endpoint's letter may be omitted).
+var (
+	xrefID    = regexp.MustCompile(`\b([EB])(\d+)\b`)
+	xrefRange = regexp.MustCompile(`\b([EB])(\d+)\s*(?:–|—|-|\.\.)\s*(?:[EB])?(\d+)\b`)
+)
+
+// checkXref cross-references DESIGN.md's experiment-index rows against
+// the B/E identifiers EXPERIMENTS.md mentions: both directions must
+// cover each other, so a new benchmark table or soak cannot land in one
+// document without the other.
+func checkXref(root string, report func(pos, msg string)) error {
+	designPath := filepath.Join(root, "DESIGN.md")
+	expPath := filepath.Join(root, "EXPERIMENTS.md")
+	design, err := os.ReadFile(designPath)
+	if err != nil {
+		return err
+	}
+	exp, err := os.ReadFile(expPath)
+	if err != nil {
+		return err
+	}
+	indexed := make(map[string]int) // ID -> first index-row line in DESIGN.md
+	for i, line := range strings.Split(string(design), "\n") {
+		if m := xrefIndexRow.FindStringSubmatch(line); m != nil {
+			if _, dup := indexed[m[1]]; !dup {
+				indexed[m[1]] = i + 1
+			}
+		}
+	}
+	mentioned := make(map[string]int) // ID -> first mention line in EXPERIMENTS.md
+	mention := func(id string, line int) {
+		if _, dup := mentioned[id]; !dup {
+			mentioned[id] = line
+		}
+	}
+	for i, line := range strings.Split(string(exp), "\n") {
+		for _, m := range xrefRange.FindAllStringSubmatch(line, -1) {
+			lo, _ := strconv.Atoi(m[2])
+			hi, _ := strconv.Atoi(m[3])
+			for n := lo; n <= hi; n++ {
+				mention(fmt.Sprintf("%s%d", m[1], n), i+1)
+			}
+		}
+		for _, m := range xrefID.FindAllStringSubmatch(line, -1) {
+			mention(m[1]+m[2], i+1)
+		}
+	}
+	for _, id := range sortedXrefIDs(indexed) {
+		if _, ok := mentioned[id]; !ok {
+			report(fmt.Sprintf("%s:%d", designPath, indexed[id]),
+				fmt.Sprintf("experiment %s is indexed here but never mentioned in EXPERIMENTS.md", id))
+		}
+	}
+	for _, id := range sortedXrefIDs(mentioned) {
+		if _, ok := indexed[id]; !ok {
+			report(fmt.Sprintf("%s:%d", expPath, mentioned[id]),
+				fmt.Sprintf("experiment %s is mentioned here but has no index row in DESIGN.md's experiment index", id))
+		}
+	}
+	return nil
+}
+
+// sortedXrefIDs orders identifiers letter-first, then numerically, so
+// findings print as B1, B2, ..., B10 rather than lexically.
+func sortedXrefIDs(m map[string]int) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i][0] != ids[j][0] {
+			return ids[i][0] < ids[j][0]
+		}
+		a, _ := strconv.Atoi(ids[i][1:])
+		b, _ := strconv.Atoi(ids[j][1:])
+		return a < b
+	})
+	return ids
 }
 
 // checkDocComments parses one package directory and reports every

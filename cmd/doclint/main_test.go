@@ -76,6 +76,63 @@ func unexported() {}
 	}
 }
 
+// TestDoclintXref pins the cross-reference check: an experiment indexed
+// in DESIGN.md but absent from EXPERIMENTS.md is a finding, as is a
+// mention with no index row; IDs covered only via a range ("E1–E3")
+// count as mentioned; a consistent pair exits 0.
+func TestDoclintXref(t *testing.T) {
+	bin := buildDoclint(t)
+
+	write := func(dir, design, experiments string) string {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, "DESIGN.md"), []byte(design), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "EXPERIMENTS.md"), []byte(experiments), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	// Consistent pair, including a range mention: clean.
+	clean := write(t.TempDir(),
+		"| E1 (x) | a |\n| E2 | b |\n| E3 | c |\n| B7 | d |\n",
+		"The soaks E1–E3 all pass. See B7 for the table.\n")
+	if out, err := exec.Command(bin, "-xref", clean).CombinedOutput(); err != nil {
+		t.Fatalf("consistent pair reported findings: %v\n%s", err, out)
+	}
+
+	// Drift in both directions: indexed-but-unmentioned and
+	// mentioned-but-unindexed must each be a finding.
+	drift := write(t.TempDir(),
+		"| E1 | a |\n| B9 | d |\n",
+		"E1 passes. B14 shows near-linear scaling.\n")
+	out, err := exec.Command(bin, "-xref", drift).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("expected exit 1, got %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"experiment B9 is indexed here but never mentioned in EXPERIMENTS.md",
+		"experiment B14 is mentioned here but has no index row in DESIGN.md",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "experiment E1") {
+		t.Errorf("false positive on consistent E1:\n%s", s)
+	}
+
+	// A missing document is a hard error (exit 2), not a finding.
+	empty := t.TempDir()
+	out, err = exec.Command(bin, "-xref", empty).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("missing documents: expected exit 2, got %v\n%s", err, out)
+	}
+}
+
 // TestDoclintCleanTree pins the repository itself as lint-clean — the
 // same invocation the CI docs job runs.
 func TestDoclintCleanTree(t *testing.T) {
@@ -84,7 +141,7 @@ func TestDoclintCleanTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(bin, "-md", root,
+	cmd := exec.Command(bin, "-md", root, "-xref", root,
 		filepath.Join(root, "internal", "wal"),
 		filepath.Join(root, "internal", "engine"))
 	if out, err := cmd.CombinedOutput(); err != nil {

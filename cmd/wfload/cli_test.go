@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildWfload compiles the command once per test into a temp dir.
+func buildWfload(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wfload")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestUsageErrorsExitTwo pins the CLI contract: flag misuse is a usage
+// error (exit 2, message on stderr), not a runtime failure (exit 1) — in
+// particular -rate is mandatory, because an open-loop generator without
+// an offered rate is meaningless.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	bin := buildWfload(t)
+	cases := []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"no rate", []string{"-n", "10"}, "-rate is required"},
+		{"zero rate", []string{"-rate", "0"}, "-rate is required and must be > 0"},
+		{"negative rate", []string{"-rate", "-5"}, "-rate is required and must be > 0"},
+		{"bad arrivals", []string{"-rate", "100", "-arrivals", "bursty"}, "-arrivals must be poisson or uniform"},
+		{"zero n", []string{"-rate", "100", "-n", "0"}, "-n must be >= 1"},
+		{"zero shards", []string{"-rate", "100", "-shards", "0"}, "-shards and -parallel must be >= 1"},
+		{"zero parallel", []string{"-rate", "100", "-parallel", "0"}, "-shards and -parallel must be >= 1"},
+		{"negative max-queue", []string{"-rate", "100", "-max-queue", "-1"}, "-max-queue must be >= 0"},
+		{"group-commit without dir", []string{"-rate", "100", "-group-commit"}, "-group-commit, -fsync and -wal-format require -dir"},
+		{"fsync without dir", []string{"-rate", "100", "-fsync"}, "-group-commit, -fsync and -wal-format require -dir"},
+		{"wal-format without dir", []string{"-rate", "100", "-wal-format", "binary"}, "-group-commit, -fsync and -wal-format require -dir"},
+		{"bad wal-format", []string{"-rate", "100", "-dir", "d", "-wal-format", "xml"}, "-wal-format must be text or binary"},
+		{"process without file", []string{"-rate", "100", "-process", "demo"}, "-process requires an FDL file argument"},
+		{"chain with fdl", []string{"-rate", "100", "-chain", "3", "x.fdl"}, "-chain and -service-ms configure the builtin workload"},
+		{"service-ms with fdl", []string{"-rate", "100", "-service-ms", "2", "x.fdl"}, "-chain and -service-ms configure the builtin workload"},
+		{"zero chain", []string{"-rate", "100", "-chain", "0"}, "-chain must be >= 1 and -service-ms >= 0"},
+		{"zero p99", []string{"-rate", "100", "-p99", "0s"}, "-p99 must be a positive duration"},
+		{"two files", []string{"-rate", "100", "a.fdl", "b.fdl"}, "at most one FDL file argument"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command(bin, c.args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("expected exit error, got %v", err)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Errorf("exit code = %d, want 2\nstderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), c.stderr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), c.stderr)
+			}
+		})
+	}
+}
+
+// TestBuiltinOpenLoopRun drives the builtin chain workload at a rate the
+// fleet can absorb and checks the summary plus the wfload/v1 histogram
+// artifact: every arrival accepted, one latency per accepted request,
+// and the summary percentiles consistent with the artifact.
+func TestBuiltinOpenLoopRun(t *testing.T) {
+	bin := buildWfload(t)
+	hist := filepath.Join(t.TempDir(), "lat.json")
+	out, err := exec.Command(bin, "-rate", "400", "-n", "60", "-shards", "2",
+		"-chain", "2", "-service-ms", "1", "-seed", "7", "-hist", hist).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"wfload: offered 400.0/s (poisson, seed 7): 60 arrivals",
+		"shards=2 workers/shard=2",
+		"latency (accepted, from scheduled arrival):",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatalf("histogram artifact: %v", err)
+	}
+	var art struct {
+		Version     string  `json:"version"`
+		Rate        float64 `json:"rate"`
+		Accepted    int     `json:"accepted"`
+		Shed        int     `json:"shed"`
+		P99Ns       int64   `json:"p99_ns"`
+		LatenciesNs []int64 `json:"latencies_ns"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("parsing artifact: %v", err)
+	}
+	if art.Version != "wfload/v1" || art.Rate != 400 {
+		t.Errorf("artifact header: %+v", art)
+	}
+	if art.Accepted+art.Shed != 60 {
+		t.Errorf("accepted %d + shed %d != 60 arrivals", art.Accepted, art.Shed)
+	}
+	if len(art.LatenciesNs) != art.Accepted {
+		t.Errorf("artifact has %d latencies for %d accepted requests", len(art.LatenciesNs), art.Accepted)
+	}
+	for _, ns := range art.LatenciesNs {
+		if ns <= 0 {
+			t.Errorf("non-positive latency %d in artifact", ns)
+		}
+	}
+}
+
+// TestUniformScheduleIsDeterministic pins that -arrivals uniform ignores
+// the seed: two runs with different seeds report identical arrival
+// counts (the schedule is purely i/rate).
+func TestUniformScheduleIsDeterministic(t *testing.T) {
+	bin := buildWfload(t)
+	for _, seed := range []string{"1", "99"} {
+		out, err := exec.Command(bin, "-rate", "500", "-n", "30", "-arrivals", "uniform",
+			"-seed", seed, "-chain", "1", "-service-ms", "0").CombinedOutput()
+		if err != nil {
+			t.Fatalf("run seed=%s: %v\n%s", seed, err, out)
+		}
+		if !strings.Contains(string(out), "(uniform, seed "+seed+"): 30 arrivals") {
+			t.Errorf("seed=%s summary wrong:\n%s", seed, out)
+		}
+		if !strings.Contains(string(out), "accepted=30 shed=0 failed=0") {
+			t.Errorf("seed=%s arrivals not all accepted:\n%s", seed, out)
+		}
+	}
+}
+
+// TestP99GateBreachExitsOne runs a workload whose service time alone
+// exceeds an absurdly tight p99 bound: the run must fail with exit 1 and
+// name the gate, distinguishing an SLO breach from flag misuse (exit 2).
+func TestP99GateBreachExitsOne(t *testing.T) {
+	bin := buildWfload(t)
+	cmd := exec.Command(bin, "-rate", "500", "-n", "20", "-chain", "1",
+		"-service-ms", "2", "-p99", "1ns")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected exit error, got %v", err)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Errorf("exit code = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "p99 gate: measured") {
+		t.Errorf("stderr %q does not report the p99 gate", stderr.String())
+	}
+}
+
+// TestShardedDurableRun runs against a shard directory with group commit
+// and verifies the on-disk layout wfload leaves behind: one shard-NN
+// directory per shard, each holding at least one WAL segment.
+func TestShardedDurableRun(t *testing.T) {
+	bin := buildWfload(t)
+	dir := filepath.Join(t.TempDir(), "fleet")
+	out, err := exec.Command(bin, "-rate", "300", "-n", "40", "-shards", "2",
+		"-chain", "2", "-service-ms", "1", "-dir", dir, "-group-commit",
+		"-wal-format", "binary").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for i := 0; i < 2; i++ {
+		shardDir := filepath.Join(dir, "shard-0"+string(rune('0'+i)))
+		ents, err := os.ReadDir(shardDir)
+		if err != nil {
+			t.Fatalf("shard dir %s: %v", shardDir, err)
+		}
+		segs := 0
+		for _, ent := range ents {
+			if strings.HasPrefix(ent.Name(), "wal-") && strings.HasSuffix(ent.Name(), ".seg") {
+				segs++
+			}
+		}
+		if segs == 0 {
+			t.Errorf("%s holds no WAL segments", shardDir)
+		}
+	}
+}
+
+// TestFDLWorkload runs a template from an FDL file through the sharded
+// fleet: all arrivals must finish and the run must exit 0.
+func TestFDLWorkload(t *testing.T) {
+	bin := buildWfload(t)
+	dir := t.TempDir()
+	fdlPath := filepath.Join(dir, "p.fdl")
+	src := `PROGRAM 'step'
+END 'step'
+
+PROCESS 'demo' ( 'Default', 'Default' )
+  PROGRAM_ACTIVITY 'A' ( 'Default', 'Default' )
+    PROGRAM 'step'
+  END 'A'
+  PROGRAM_ACTIVITY 'B' ( 'Default', 'Default' )
+    PROGRAM 'step'
+  END 'B'
+  CONTROL FROM 'A' TO 'B'
+END 'demo'
+`
+	if err := os.WriteFile(fdlPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-rate", "500", "-n", "30", "-shards", "2",
+		"-process", "demo", fdlPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "accepted=30 shed=0 failed=0") {
+		t.Errorf("FDL workload did not finish cleanly:\n%s", out)
+	}
+}

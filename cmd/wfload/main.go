@@ -1,0 +1,362 @@
+// Command wfload is an open-loop workload generator for the sharded
+// workflow fleet. Unlike a closed-loop driver (which waits for each
+// response before sending the next request, so a slow server conveniently
+// slows the load down — coordinated omission), wfload fires arrivals on a
+// precomputed schedule derived only from -rate and -arrivals: the system
+// under test cannot slow the offered load down, and every latency is
+// measured from the request's *scheduled* arrival time, so queueing delay
+// caused by the generator falling behind counts against the fleet.
+//
+//	wfload -rate 200 -n 1000                  # builtin chain workload
+//	wfload -rate 200 -n 1000 -shards 4        # sharded fleet
+//	wfload -rate 150 -arrivals uniform -n 600 # deterministic pacing
+//	wfload -rate 200 -n 500 -process demo app.fdl
+//
+// The builtin workload is a linear chain of -chain activities whose
+// program sleeps -service-ms and commits — pure modeled I/O wait, so
+// per-shard capacity is parallel/(chain*service) instances per second by
+// construction. Alternatively an FDL file argument runs a real process
+// template (every program bound to a simulated resource manager that
+// always commits).
+//
+// Durability: -dir runs every shard against its own group-commit-capable
+// segmented WAL under dir/shard-NN/ (the same layout wfrun -resume and
+// RecoverFleet read back); -group-commit, -fsync and -wal-format require
+// it.
+//
+// Gates and artifacts: -p99 makes the run exit 1 when the accepted p99
+// exceeds the bound — a latency SLO check for CI. -hist FILE writes a
+// wfload/v1 JSON artifact with the run configuration, summary counters
+// and every accepted request's latency in nanoseconds.
+//
+// Flag misuse exits 2 (usage), runtime failures and gate breaches exit 1.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/fdl"
+	"repro/internal/fmtm"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/rm"
+	"repro/internal/wal"
+)
+
+func main() {
+	rate := flag.Float64("rate", 0, "offered arrival rate in requests/sec (required, > 0)")
+	n := flag.Int("n", 200, "total number of arrivals")
+	arrivals := flag.String("arrivals", "poisson", "arrival schedule: poisson (exponential inter-arrivals) or uniform (fixed spacing)")
+	seed := flag.Int64("seed", 1, "seed for the poisson arrival schedule")
+	shards := flag.Int("shards", 1, "engine shards: each owns its workers, queue and (with -dir) WAL")
+	parallel := flag.Int("parallel", 2, "workers per shard")
+	maxQueue := flag.Int("max-queue", 16, "admission queue depth per shard beyond the workers")
+	dir := flag.String("dir", "", "shard directory root: each shard logs to dir/shard-NN/ (default: in-memory)")
+	groupCommit := flag.Bool("group-commit", false, "batch each shard's WAL appends into one fsync per flush (requires -dir)")
+	fsync := flag.Bool("fsync", false, "fsync each shard's WAL after every record (requires -dir)")
+	walFormat := flag.String("wal-format", "text", "record framing for shard segments: text or binary (requires -dir)")
+	chain := flag.Int("chain", 4, "builtin workload: number of chained activities per instance")
+	serviceMs := flag.Float64("service-ms", 5, "builtin workload: per-activity service time in milliseconds (modeled I/O wait)")
+	process := flag.String("process", "", "FDL mode: process template to instantiate (default: the file's first process)")
+	p99Gate := flag.Duration("p99", 0, "fail (exit 1) when the accepted p99 latency exceeds this bound, e.g. 250ms")
+	histPath := flag.String("hist", "", "write a wfload/v1 JSON latency artifact (per-request latencies) to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wfload -rate r [-n count] [-arrivals poisson|uniform] [-seed s] [-shards k] [-parallel p] [-max-queue q] [-dir root [-group-commit] [-fsync] [-wal-format f]] [-chain c] [-service-ms ms] [-p99 bound] [-hist file] [[-process name] file.fdl]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	usageError := func(msg string) {
+		fmt.Fprintln(os.Stderr, "wfload: "+msg)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch {
+	case flag.NArg() > 1:
+		usageError("at most one FDL file argument")
+	case !explicit["rate"] || *rate <= 0:
+		usageError("-rate is required and must be > 0 (open-loop load is defined by its offered rate)")
+	case *arrivals != "poisson" && *arrivals != "uniform":
+		usageError("-arrivals must be poisson or uniform")
+	case *n < 1:
+		usageError("-n must be >= 1")
+	case *shards < 1 || *parallel < 1:
+		usageError("-shards and -parallel must be >= 1")
+	case *maxQueue < 0:
+		usageError("-max-queue must be >= 0")
+	case *dir == "" && (*groupCommit || *fsync || explicit["wal-format"]):
+		usageError("-group-commit, -fsync and -wal-format require -dir")
+	case *walFormat != "text" && *walFormat != "binary":
+		usageError("-wal-format must be text or binary")
+	case flag.NArg() == 0 && explicit["process"]:
+		usageError("-process requires an FDL file argument")
+	case flag.NArg() == 1 && (explicit["chain"] || explicit["service-ms"]):
+		usageError("-chain and -service-ms configure the builtin workload and are incompatible with an FDL file")
+	case *chain < 1 || *serviceMs < 0:
+		usageError("-chain must be >= 1 and -service-ms >= 0")
+	case explicit["p99"] && *p99Gate <= 0:
+		usageError("-p99 must be a positive duration")
+	}
+
+	reg := obs.NewRegistry()
+	e, proc, err := buildWorkload(reg, flag.Arg(0), *process, *chain, *serviceMs)
+	if err != nil {
+		fatal(err)
+	}
+	format := wal.FormatText
+	if *walFormat == "binary" {
+		format = wal.FormatBinary
+	}
+	f, err := engine.NewFleet(e, engine.FleetConfig{
+		Shards: *shards, Dir: *dir, Parallel: *parallel,
+		MaxQueue: *maxQueue, HotQueue: *parallel + *maxQueue/2,
+		Shed: true, GroupCommit: *groupCommit, Fsync: *fsync, Format: format,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// The whole schedule is computed up front from the seed: offered load
+	// is a property of the run configuration, never of server behavior.
+	offsets := schedule(*arrivals, *rate, *n, *seed)
+	lat := make([]time.Duration, *n)
+	okd := make([]bool, *n)
+	accepted, failed := 0, 0
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		arrive := start.Add(offsets[i])
+		if d := time.Until(arrive); d > 0 {
+			time.Sleep(d)
+		}
+		i := i
+		_, err := f.Submit(proc, nil, func(_ *engine.Instance, err error) {
+			if err == nil {
+				lat[i] = time.Since(arrive)
+				okd[i] = true
+			}
+		})
+		if err != nil && !errors.Is(err, engine.ErrOverloaded) {
+			failed++
+		} else if err == nil {
+			accepted++
+		}
+	}
+	f.Drain()
+	elapsed := time.Since(start)
+	stats := f.Stats()
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	var acceptedLat []time.Duration
+	completed := 0
+	for i, ok := range okd {
+		if ok {
+			acceptedLat = append(acceptedLat, lat[i])
+			completed++
+		}
+	}
+	failed += accepted - completed
+	records := reg.Counter("engine.wal.appends").Value()
+	recsPerSec := float64(records) / elapsed.Seconds()
+	p50 := percentile(acceptedLat, 50)
+	p90 := percentile(acceptedLat, 90)
+	p99 := percentile(acceptedLat, 99)
+	var max time.Duration
+	for _, d := range acceptedLat {
+		if d > max {
+			max = d
+		}
+	}
+
+	fmt.Printf("wfload: offered %.1f/s (%s, seed %d): %d arrivals over %s\n",
+		*rate, *arrivals, *seed, *n, elapsed.Round(time.Millisecond))
+	fmt.Printf("accepted=%d shed=%d failed=%d rebalanced=%d shards=%d workers/shard=%d\n",
+		accepted, stats.Shed, failed, stats.Rebalanced, *shards, *parallel)
+	fmt.Printf("throughput: %.1f accepted/s, %.0f records/s\n",
+		float64(completed)/elapsed.Seconds(), recsPerSec)
+	fmt.Printf("latency (accepted, from scheduled arrival): p50=%s p90=%s p99=%s max=%s\n",
+		p50.Round(time.Microsecond), p90.Round(time.Microsecond),
+		p99.Round(time.Microsecond), max.Round(time.Microsecond))
+
+	if *histPath != "" {
+		art := histArtifact{
+			Version: "wfload/v1", Rate: *rate, Arrivals: *arrivals, Seed: *seed,
+			N: *n, Shards: *shards, Parallel: *parallel, MaxQueue: *maxQueue,
+			Accepted: accepted, Shed: int(stats.Shed), Failed: failed,
+			Rebalanced: stats.Rebalanced, ElapsedNs: elapsed.Nanoseconds(),
+			RecordsPerSec: recsPerSec,
+			P50Ns:         p50.Nanoseconds(), P90Ns: p90.Nanoseconds(),
+			P99Ns: p99.Nanoseconds(), MaxNs: max.Nanoseconds(),
+		}
+		for _, d := range acceptedLat {
+			art.LatenciesNs = append(art.LatenciesNs, d.Nanoseconds())
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*histPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d latencies)\n", *histPath, len(art.LatenciesNs))
+	}
+
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d accepted instances failed", failed, accepted))
+	}
+	if *p99Gate > 0 && p99 > *p99Gate {
+		fatal(fmt.Errorf("p99 gate: measured %s exceeds bound %s", p99, *p99Gate))
+	}
+}
+
+// histArtifact is the wfload/v1 machine-readable run record.
+type histArtifact struct {
+	Version       string  `json:"version"`
+	Rate          float64 `json:"rate"`
+	Arrivals      string  `json:"arrivals"`
+	Seed          int64   `json:"seed"`
+	N             int     `json:"n"`
+	Shards        int     `json:"shards"`
+	Parallel      int     `json:"parallel"`
+	MaxQueue      int     `json:"max_queue"`
+	Accepted      int     `json:"accepted"`
+	Shed          int     `json:"shed"`
+	Failed        int     `json:"failed"`
+	Rebalanced    int64   `json:"rebalanced"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	P50Ns         int64   `json:"p50_ns"`
+	P90Ns         int64   `json:"p90_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+	MaxNs         int64   `json:"max_ns"`
+	LatenciesNs   []int64 `json:"latencies_ns"`
+}
+
+// schedule precomputes every arrival's offset from the run start.
+// Uniform spacing is exactly i/rate; poisson draws exponential
+// inter-arrival gaps with mean 1/rate from the seed, the arrival process
+// of independent clients.
+func schedule(kind string, rate float64, n int, seed int64) []time.Duration {
+	offsets := make([]time.Duration, n)
+	interval := float64(time.Second) / rate
+	if kind == "uniform" {
+		for i := range offsets {
+			offsets[i] = time.Duration(float64(i) * interval)
+		}
+		return offsets
+	}
+	r := rand.New(rand.NewSource(seed))
+	at := 0.0
+	for i := range offsets {
+		offsets[i] = time.Duration(at)
+		at += r.ExpFloat64() * interval
+	}
+	return offsets
+}
+
+// buildWorkload assembles the engine and target process: the builtin
+// sleep-chain when no FDL file is given, otherwise the file's template
+// with every program bound to an always-committing simulated resource
+// manager.
+func buildWorkload(reg *obs.Registry, fdlPath, process string, chain int, serviceMs float64) (*engine.Engine, string, error) {
+	e := engine.New(engine.WithMetrics(reg))
+	if fdlPath == "" {
+		service := time.Duration(serviceMs * float64(time.Millisecond))
+		err := e.RegisterProgram("work", engine.ProgramFunc(func(inv *engine.Invocation) error {
+			if service > 0 {
+				time.Sleep(service)
+			}
+			inv.Out.SetRC(0)
+			return nil
+		}))
+		if err != nil {
+			return nil, "", err
+		}
+		p := model.NewProcess("load")
+		for i := 1; i <= chain; i++ {
+			name := fmt.Sprintf("A%d", i)
+			p.Activities = append(p.Activities, &model.Activity{
+				Name: name, Kind: model.KindProgram, Program: "work",
+			})
+			if i > 1 {
+				p.Control = append(p.Control, &model.ControlConnector{
+					From: fmt.Sprintf("A%d", i-1), To: name, Condition: expr.MustParse("RC = 0"),
+				})
+			}
+		}
+		if err := e.RegisterProcess(p); err != nil {
+			return nil, "", err
+		}
+		return e, p.Name, nil
+	}
+	src, err := os.ReadFile(fdlPath)
+	if err != nil {
+		return nil, "", err
+	}
+	file, err := fdl.Parse(string(src))
+	if err != nil {
+		return nil, "", err
+	}
+	if err := file.Check(); err != nil {
+		return nil, "", err
+	}
+	if len(file.Processes) == 0 {
+		return nil, "", fmt.Errorf("no processes in %s", fdlPath)
+	}
+	inj := rm.NewInjector()
+	rec := &rm.Recorder{}
+	for _, prog := range file.Programs {
+		if prog.Name == fmtm.CopyName {
+			if err := fmtm.RegisterRuntime(e); err != nil {
+				return nil, "", err
+			}
+			continue
+		}
+		sub := rm.Subtransaction{Name: prog.Name}
+		if err := e.RegisterProgram(prog.Name, rm.Program(sub, inj, rec)); err != nil {
+			return nil, "", err
+		}
+	}
+	if err := fmtm.Install(e, file); err != nil {
+		return nil, "", err
+	}
+	name := process
+	if name == "" {
+		name = file.Processes[0].Name
+	}
+	return e, name, nil
+}
+
+// percentile returns the exact p-th percentile of the sample (nearest
+// rank on the sorted values); zero for an empty sample.
+func percentile(lat []time.Duration, p int) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(s) {
+		idx = len(s)
+	}
+	return s[idx-1]
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wfload: %v\n", err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -55,6 +56,9 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"max-queue without fleet", []string{"-max-queue", "4", "x.fdl"}, "-max-queue and -shed require fleet mode (-n > 1)"},
 		{"shed without fleet", []string{"-shed", "x.fdl"}, "-max-queue and -shed require fleet mode (-n > 1)"},
 		{"negative max-queue", []string{"-n", "4", "-max-queue", "-1", "x.fdl"}, "-max-queue must be >= 0"},
+		{"zero shards", []string{"-n", "4", "-shards", "0", "x.fdl"}, "-shards must be >= 1"},
+		{"shards without fleet", []string{"-shards", "4", "x.fdl"}, "-shards requires fleet mode (-n > 1) or -resume"},
+		{"shards with checkpoint", []string{"-n", "4", "-shards", "2", "-wal", "w", "-checkpoint", "ck", "x.fdl"}, "-checkpoint is incompatible with -shards"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -276,6 +280,52 @@ END 'demo'
 		t.Fatal(err)
 	}
 	return fdl
+}
+
+// TestShardedFleetRunAndResume runs a fleet across shards with a
+// durable group-commit WAL per shard, then resumes from the fleet root:
+// the run summary must report per-shard placement summing to the fleet
+// size, the root must hold one shard-NN directory per shard, and the
+// sharded resume must recover every instance finished.
+func TestShardedFleetRunAndResume(t *testing.T) {
+	bin := buildWfrun(t)
+	dir := t.TempDir()
+	fdl := demoFDL(t, dir)
+	root := filepath.Join(dir, "fleet")
+
+	out, err := exec.Command(bin, "-wal", root, "-group-commit", "-n", "24",
+		"-shards", "3", "-parallel", "2", fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sharded run: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "fleet: 24 instances of demo across 3 shards: finished=24 failed=0") {
+		t.Fatalf("sharded summary missing:\n%s", s)
+	}
+	placed := 0
+	for i := 0; i < 3; i++ {
+		tag := "shard-0" + string(rune('0'+i)) + ": placed="
+		idx := strings.Index(s, tag)
+		if idx < 0 {
+			t.Fatalf("per-shard line for shard %d missing:\n%s", i, s)
+		}
+		var n, fin, fail int
+		if _, err := fmt.Sscanf(s[idx:], "shard-0"+string(rune('0'+i))+": placed=%d finished=%d failed=%d", &n, &fin, &fail); err != nil {
+			t.Fatalf("parsing shard line: %v\n%s", err, s)
+		}
+		placed += n
+	}
+	if placed != 24 {
+		t.Errorf("per-shard placements sum to %d, want 24", placed)
+	}
+
+	out, err = exec.Command(bin, "-resume", "-shards", "3", "-wal", root, fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sharded resume: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "recovered 24 instances from 3 shard directories: finished=24 failed=0") {
+		t.Errorf("sharded resume summary missing:\n%s", out)
+	}
 }
 
 // TestResumeAfterCrash crashes a run with -crash-at (which leaves the

@@ -44,6 +44,20 @@
 //
 //	wfrun -process travel -wal travel.wal -group-commit -n 64 -parallel 8 -metrics travel.fdl
 //
+// With -shards k > 1 the fleet is consistent-hash partitioned across k
+// engine shards: each shard runs -parallel workers with its own bounded
+// admission queue, and with -wal the path becomes the fleet root
+// directory holding one shard-NN subdirectory per shard, each with its
+// own segmented WAL (sharing -group-commit, -fsync and -wal-format).
+// The summary adds per-shard placement counts. A sharded run is resumed
+// with -resume -shards k -wal DIR, which recovers every shard directory
+// independently (-checkpoint is incompatible: each shard owns its
+// checkpointer). Open-loop load generation against the same sharded
+// fleet lives in the companion command wfload:
+//
+//	wfrun -process travel -n 64 -shards 4 -parallel 2 -wal fleet/ -group-commit travel.fdl
+//	wfrun -resume -shards 4 -wal fleet/ travel.fdl
+//
 // With -checkpoint DIR the -wal path becomes a segment directory: the
 // log rotates into bounded segments and a background checkpointer folds
 // sealed segments into crash-consistent checkpoints, so restart work is
@@ -98,6 +112,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve metrics over HTTP on this address while running (e.g. :9090)")
 	spans := flag.Bool("spans", false, "print the instance's span tree derived from the audit trail")
 	fleetN := flag.Int("n", 1, "fleet size: run N instances of the process and print an aggregate summary")
+	shardsN := flag.Int("shards", 1, "engine shards: consistent-hash partition fleet instances across k shards, each with its own workers, admission queue and (with -wal) its own WAL under WAL/shard-NN/ (requires -n > 1 or -resume)")
 	parallel := flag.Int("parallel", 1, "fleet workers: how many instances execute at once")
 	maxQueue := flag.Int("max-queue", 0, "fleet admission queue depth beyond the -parallel workers (requires -n > 1)")
 	shed := flag.Bool("shed", false, "reject (and count) fleet instances arriving while the admission queue is full instead of blocking the producer (requires -n > 1)")
@@ -115,7 +130,7 @@ func main() {
 	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
 	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-breaker] [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir] [-resume]] [-n fleet [-parallel p] [-max-queue n] [-shed]] [-metrics] [-metrics-addr :port [-pprof] [-sse-buffer n] [-linger-ms n]] [-flight-recorder file] [-spans] file.fdl\n")
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-breaker] [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir] [-resume]] [-n fleet [-shards k] [-parallel p] [-max-queue n] [-shed]] [-metrics] [-metrics-addr :port [-pprof] [-sse-buffer n] [-linger-ms n]] [-flight-recorder file] [-spans] file.fdl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -167,6 +182,12 @@ func main() {
 		usageError("-max-queue and -shed require fleet mode (-n > 1)")
 	case *maxQueue < 0:
 		usageError("-max-queue must be >= 0")
+	case *shardsN < 1:
+		usageError("-shards must be >= 1")
+	case *shardsN > 1 && *fleetN <= 1 && !*resume:
+		usageError("-shards requires fleet mode (-n > 1) or -resume")
+	case *shardsN > 1 && *ckptDir != "":
+		usageError("-checkpoint is incompatible with -shards (each shard owns its checkpointer inside its shard directory)")
 	}
 
 	// The flight recorder taps the bus whenever something will consume its
@@ -295,7 +316,24 @@ func main() {
 	}
 
 	if *resume {
+		if *shardsN > 1 {
+			resumeSharded(build, *walPath, *metrics)
+			return
+		}
 		resumeRun(build, *walPath, *ckptDir, *trace, *spans, *metrics)
+		return
+	}
+
+	recFormat := wal.FormatText
+	if *walFormat == "binary" {
+		recFormat = wal.FormatBinary
+	}
+	if *shardsN > 1 {
+		// Sharded fleet mode: the fleet opens one WAL per shard under
+		// WAL/shard-NN itself, so the single-log setup below is skipped.
+		e, _ := build()
+		runSharded(e, name, *shardsN, *fleetN, *parallel, *maxQueue, *shed,
+			*walPath, *groupCommit, *fsync, recFormat, *flushMs, *batch, stop, *metrics)
 		return
 	}
 
@@ -304,10 +342,6 @@ func main() {
 	var slog *wal.SegmentedLog
 	var gclog *wal.GroupCommitLog
 	var ckpt *engine.Checkpointer
-	recFormat := wal.FormatText
-	if *walFormat == "binary" {
-		recFormat = wal.FormatBinary
-	}
 	if *walPath != "" {
 		if *ckptDir != "" {
 			// Checkpointed mode: -wal names a segment directory; a

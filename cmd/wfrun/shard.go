@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/rm"
+	"repro/internal/wal"
+)
+
+// runSharded executes fleet mode across multiple engine shards:
+// instances are consistent-hash partitioned on instance ID, each shard
+// runs its own workers and bounded admission queue, and with -wal the
+// path becomes the fleet root directory holding one shard-NN
+// subdirectory per shard, each with its own (optionally group-commit)
+// segmented WAL. The summary reports per-shard placement so hash skew
+// and rebalancing are visible from the command line.
+func runSharded(e *engine.Engine, process string, shards, fleetN, parallel, maxQueue int,
+	shed bool, walPath string, groupCommit, fsyncOn bool, format wal.Format,
+	flushMs, batch int, stop <-chan struct{}, metrics bool) {
+	cfg := engine.FleetConfig{
+		Shards: shards, Dir: walPath, Parallel: parallel,
+		MaxQueue: maxQueue, HotQueue: parallel + maxQueue/2, Shed: shed,
+		GroupCommit: groupCommit, Fsync: fsyncOn, Format: format, Stop: stop,
+	}
+	if groupCommit {
+		cfg.GroupOpts = func(int) []wal.GroupOption {
+			return []wal.GroupOption{
+				wal.GroupWindow(time.Duration(flushMs) * time.Millisecond),
+				wal.GroupMaxBatch(batch),
+			}
+		}
+	}
+	f, err := engine.NewFleet(e, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := f.Run(process, fleetN, nil)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st := f.Stats()
+	secs := res.Elapsed.Seconds()
+	fmt.Printf("fleet: %d instances of %s across %d shards: finished=%d failed=%d shed=%d rebalanced=%d elapsed=%s (%.1f instances/sec)\n",
+		res.Launched, process, shards, res.Finished, res.Failed, res.Shed,
+		st.Rebalanced, res.Elapsed.Round(time.Millisecond), float64(res.Launched)/secs)
+	for _, s := range st.Shards {
+		fmt.Printf("  %s: placed=%d finished=%d failed=%d\n",
+			engine.ShardDirName(s.ID), s.Placed, s.Finished, s.Failed)
+	}
+	if res.Stopped {
+		fmt.Printf("fleet: drained after stop signal: %d of %d instances never admitted\n",
+			fleetN-res.Launched-res.Shed, fleetN)
+	}
+	if metrics {
+		fmt.Println("-- metrics --")
+		obs.WritePrometheus(os.Stdout, obs.Default)
+	}
+	if res.Failed > 0 {
+		fatal(fmt.Errorf("%d of %d instances failed: %v", res.Failed, res.Launched, res.Err))
+	}
+}
+
+// resumeSharded recovers every instance a sharded run left under the
+// fleet root directory: each shard-NN subdirectory is recovered
+// independently (newest usable checkpoint, repaired segment tail, then
+// replay), and the concatenation is reported like a single-log resume.
+func resumeSharded(build func() (*engine.Engine, *rm.Recorder), root string, metrics bool) {
+	e, _ := build()
+	dirs, err := engine.ShardDirs(root)
+	if err != nil {
+		fatal(err)
+	}
+	insts, err := engine.RecoverFleet(e, root, nil)
+	if err != nil {
+		fatal(err)
+	}
+	finished, failed := 0, 0
+	for _, inst := range insts {
+		if inst.Finished() {
+			finished++
+		} else {
+			failed++
+		}
+	}
+	fmt.Printf("recovered %d instances from %d shard directories: finished=%d failed=%d\n",
+		len(insts), len(dirs), finished, failed)
+	if metrics {
+		fmt.Println("-- metrics --")
+		obs.WritePrometheus(os.Stdout, obs.Default)
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d recovered instances failed", failed))
+	}
+}

@@ -2,7 +2,10 @@
 // polls the ops server's /statusz endpoint and renders a refreshing
 // table of the fleet — instances grouped by state, throughput derived
 // from counter deltas between polls, replay/flush/program latency
-// quantiles, and event-bus health (published/dropped).
+// quantiles, and event-bus health (published/dropped). When the
+// observed run is sharded (wfrun -shards) the engine.shard.NN.* gauges
+// appear as a per-shard table — queue depth and active workers with
+// their peaks, plus the fleet's rebalance count — with no extra flags.
 //
 //	wfrun -process travel -n 64 -parallel 8 -metrics-addr :9090 travel.fdl &
 //	wftop -addr localhost:9090
@@ -165,6 +168,19 @@ func render(w *os.File, addr string, st, prev *obs.Status, sincePrev time.Durati
 		st.Gauges["engine.inflight.workers"].Value,
 		st.Counters["engine.fleet.shed"])
 
+	// Per-shard columns: present only when the run is sharded (wfrun
+	// -shards), keyed off the engine.shard.NN.* gauges the fleet
+	// registers per shard.
+	if ids := shardIDs(st.Gauges); len(ids) > 0 {
+		fmt.Fprintf(w, "shards %d rebalanced=%d\n", len(ids), st.Counters["engine.fleet.rebalanced"])
+		fmt.Fprintf(w, "%-10s %8s %8s %8s %8s\n", "SHARD", "QUEUE", "QPEAK", "ACTIVE", "APEAK")
+		for _, id := range ids {
+			q := st.Gauges[fmt.Sprintf("engine.shard.%02d.queue.depth", id)]
+			a := st.Gauges[fmt.Sprintf("engine.shard.%02d.active", id)]
+			fmt.Fprintf(w, "shard-%02d   %8d %8d %8d %8d\n", id, q.Value, q.Max, a.Value, a.Max)
+		}
+	}
+
 	// Overload-control line: present only when the run has breakers wired
 	// in (-breaker), keyed off the retry-budget gauge the engine mirrors.
 	if budget, ok := st.Gauges["engine.retry.budget"]; ok {
@@ -219,6 +235,22 @@ func render(w *os.File, addr string, st, prev *obs.Status, sincePrev time.Durati
 			fmt.Fprintf(w, "... and %d more\n", trimmed)
 		}
 	}
+}
+
+// shardIDs extracts the sorted shard indices present in a gauge
+// snapshot, recognizing the engine.shard.NN.queue.depth names a sharded
+// fleet registers; empty for an unsharded run.
+func shardIDs(gauges map[string]obs.GaugeSnapshot) []int {
+	var ids []int
+	for name := range gauges {
+		var id int
+		var rest string
+		if n, _ := fmt.Sscanf(name, "engine.shard.%d.%s", &id, &rest); n == 2 && rest == "queue.depth" {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // fmtNs renders a nanosecond quantile with a human unit.

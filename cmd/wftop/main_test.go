@@ -7,6 +7,26 @@ import (
 	"repro/internal/obs"
 )
 
+// TestShardIDs: the shard table keys off the engine.shard.NN.queue.depth
+// gauges a sharded fleet registers — sorted by index, deaf to the other
+// shard gauges and to unsharded runs.
+func TestShardIDs(t *testing.T) {
+	g := map[string]obs.GaugeSnapshot{
+		"engine.shard.02.queue.depth": {Value: 1},
+		"engine.shard.00.queue.depth": {Value: 0},
+		"engine.shard.01.queue.depth": {Value: 3},
+		"engine.shard.01.active":      {Value: 2},
+		"engine.fleet.queue.depth":    {Value: 4},
+	}
+	ids := shardIDs(g)
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("shardIDs = %v, want [0 1 2]", ids)
+	}
+	if ids := shardIDs(map[string]obs.GaugeSnapshot{"engine.queue.depth": {}}); len(ids) != 0 {
+		t.Fatalf("unsharded run produced shard rows: %v", ids)
+	}
+}
+
 // TestFinishedRateClamps: counter resets and process restarts between
 // polls must read as zero throughput, never a negative rate.
 func TestFinishedRateClamps(t *testing.T) {

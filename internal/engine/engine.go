@@ -265,6 +265,21 @@ func (e *Engine) Directory() *org.Directory { return e.dir }
 // initial values for the process input container (nil for all defaults);
 // log receives the navigation records (pass nil for an in-memory log).
 func (e *Engine) CreateInstance(process string, input map[string]expr.Value, log wal.Log) (*Instance, error) {
+	return e.CreateInstanceID(process, e.NewInstanceID(), input, log)
+}
+
+// NewInstanceID reserves and returns the next engine-assigned instance
+// ID ("inst-N") without creating an instance. Sharded placement needs
+// the ID before creation — a Fleet hashes the ID to pick the shard and
+// must create the instance against that shard's log (ShardFor).
+func (e *Engine) NewInstanceID() string {
+	return fmt.Sprintf("inst-%d", e.nextID.Add(1))
+}
+
+// CreateInstanceID is CreateInstance with a caller-supplied instance ID,
+// normally one reserved via NewInstanceID. The caller owns uniqueness:
+// reusing a live ID corrupts log demultiplexing and recovery.
+func (e *Engine) CreateInstanceID(process, id string, input map[string]expr.Value, log wal.Log) (*Instance, error) {
 	e.mu.RLock()
 	p, ok := e.processes[process]
 	e.mu.RUnlock()
@@ -286,7 +301,6 @@ func (e *Engine) CreateInstance(process string, input map[string]expr.Value, log
 			return nil, err
 		}
 	}
-	id := fmt.Sprintf("inst-%d", e.nextID.Add(1))
 	inst := newInstance(e, id, p, in, log)
 	e.metrics.instCreated.Inc()
 	e.bus.Publish(obs.Event{Kind: obs.EvInstanceCreated, Instance: id, Program: process})

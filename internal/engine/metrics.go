@@ -31,9 +31,10 @@ type engineMetrics struct {
 	loops      *obs.Counter // engine.loops
 	walAppends *obs.Counter // engine.wal.appends
 
-	fleetQueue  *obs.Gauge   // engine.fleet.queue.depth
-	fleetActive *obs.Gauge   // engine.fleet.active
-	fleetShed   *obs.Counter // engine.fleet.shed
+	fleetQueue      *obs.Gauge   // engine.fleet.queue.depth
+	fleetActive     *obs.Gauge   // engine.fleet.active
+	fleetShed       *obs.Counter // engine.fleet.shed
+	fleetRebalanced *obs.Counter // engine.fleet.rebalanced (hot-shard spills)
 
 	breakerOpen    *obs.Gauge   // engine.breaker.open (breakers currently open)
 	breakerTrips   *obs.Counter // engine.breaker.trips
@@ -45,32 +46,33 @@ type engineMetrics struct {
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	return &engineMetrics{
-		reg:            reg,
-		instCreated:    reg.Counter("engine.instances.created"),
-		instFinished:   reg.Counter("engine.instances.finished"),
-		instFailed:     reg.Counter("engine.instances.failed"),
-		instCanceled:   reg.Counter("engine.instances.canceled"),
-		navSteps:       reg.Counter("engine.navigation.steps"),
-		queueDepth:     reg.Gauge("engine.queue.depth"),
-		inflight:       reg.Gauge("engine.inflight.workers"),
-		invocations:    reg.Counter("engine.program.invocations"),
-		committed:      reg.Counter("engine.program.committed"),
-		aborted:        reg.Counter("engine.program.aborted"),
-		progFailed:     reg.Counter("engine.program.failed"),
-		retries:        reg.Counter("engine.program.retries"),
-		panics:         reg.Counter("engine.program.panics"),
-		programNs:      reg.Histogram("engine.program.ns"),
-		backoffNs:      reg.Histogram("engine.program.backoff_ns"),
-		deadPaths:      reg.Counter("engine.deadpath.eliminations"),
-		loops:          reg.Counter("engine.loops"),
-		walAppends:     reg.Counter("engine.wal.appends"),
-		fleetQueue:     reg.Gauge("engine.fleet.queue.depth"),
-		fleetActive:    reg.Gauge("engine.fleet.active"),
-		fleetShed:      reg.Counter("engine.fleet.shed"),
-		breakerOpen:    reg.Gauge("engine.breaker.open"),
-		breakerTrips:   reg.Counter("engine.breaker.trips"),
-		retryBudget:    reg.Gauge("engine.retry.budget"),
-		retriesForgone: reg.Counter("engine.retry.forgone"),
-		recReplayed:    reg.Counter("recover.records_replayed"),
+		reg:             reg,
+		instCreated:     reg.Counter("engine.instances.created"),
+		instFinished:    reg.Counter("engine.instances.finished"),
+		instFailed:      reg.Counter("engine.instances.failed"),
+		instCanceled:    reg.Counter("engine.instances.canceled"),
+		navSteps:        reg.Counter("engine.navigation.steps"),
+		queueDepth:      reg.Gauge("engine.queue.depth"),
+		inflight:        reg.Gauge("engine.inflight.workers"),
+		invocations:     reg.Counter("engine.program.invocations"),
+		committed:       reg.Counter("engine.program.committed"),
+		aborted:         reg.Counter("engine.program.aborted"),
+		progFailed:      reg.Counter("engine.program.failed"),
+		retries:         reg.Counter("engine.program.retries"),
+		panics:          reg.Counter("engine.program.panics"),
+		programNs:       reg.Histogram("engine.program.ns"),
+		backoffNs:       reg.Histogram("engine.program.backoff_ns"),
+		deadPaths:       reg.Counter("engine.deadpath.eliminations"),
+		loops:           reg.Counter("engine.loops"),
+		walAppends:      reg.Counter("engine.wal.appends"),
+		fleetQueue:      reg.Gauge("engine.fleet.queue.depth"),
+		fleetActive:     reg.Gauge("engine.fleet.active"),
+		fleetShed:       reg.Counter("engine.fleet.shed"),
+		fleetRebalanced: reg.Counter("engine.fleet.rebalanced"),
+		breakerOpen:     reg.Gauge("engine.breaker.open"),
+		breakerTrips:    reg.Counter("engine.breaker.trips"),
+		retryBudget:     reg.Gauge("engine.retry.budget"),
+		retriesForgone:  reg.Counter("engine.retry.forgone"),
+		recReplayed:     reg.Counter("recover.records_replayed"),
 	}
 }

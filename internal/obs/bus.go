@@ -34,6 +34,10 @@ type Event struct {
 	// checkpoint sequence for wal.checkpoint, attempt number for
 	// activity.retry.
 	N int64 `json:"n,omitempty"`
+	// Shard is the engine-shard index for shard.* events published by a
+	// sharded fleet (engine.Fleet); 0 and omitted elsewhere. shard.rebalance
+	// reports the target shard here and the home shard in N.
+	Shard int `json:"shard,omitempty"`
 	// DurNs attributes latency to the phase that ends with this event:
 	// queue wait for activity.dispatch, program wall time for
 	// activity.finished, backoff for activity.retry, sync time for
@@ -212,8 +216,8 @@ func (b *Bus) Subscribers() int {
 
 // The event taxonomy. Instance lifecycle and activity events are
 // published by the engine; wal.* by the log implementations; fleet.* by
-// engine.RunFleet. DESIGN.md "Observability" documents each kind's
-// payload fields.
+// engine.RunFleet; shard.* by the sharded engine.Fleet. DESIGN.md
+// "Observability" documents each kind's payload fields.
 const (
 	EvInstanceCreated  = "instance.created"  // CreateInstance returned; Program = template name
 	EvInstanceStarted  = "instance.started"  // Start began navigating
@@ -240,6 +244,12 @@ const (
 	EvFleetActive  = "fleet.active"  // instance began executing; N = active count
 	EvFleetDone    = "fleet.done"    // instance released its worker; N = active count
 	EvFleetShed    = "fleet.shed"    // admission queue full, work rejected; N = sheds so far
+
+	EvShardEnqueue   = "shard.enqueue"   // instance admitted to a shard; Shard set, N = shard queue depth
+	EvShardActive    = "shard.active"    // instance began executing on its shard; Shard set, N = shard active count
+	EvShardDone      = "shard.done"      // instance released its shard worker; Shard set, N = shard active count
+	EvShardRebalance = "shard.rebalance" // hot home shard spilled an instance; Shard = target, N = home shard
+	EvShardShed      = "shard.shed"      // every shard full, work rejected; Shard = home, N = fleet sheds so far
 
 	EvBreakerOpen     = "breaker.open"      // failure rate tripped the breaker; Program set, Cause = last error
 	EvBreakerHalfOpen = "breaker.half_open" // cooldown elapsed, probe admitted; Program set

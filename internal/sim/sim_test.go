@@ -201,6 +201,17 @@ func TestFastBenchTables(t *testing.T) {
 	if b12.Rows[0][5] != "0" || b12.Rows[2][5] != "0" {
 		t.Errorf("B12: baseline/unbounded rows shed work: %v", b12.Rows)
 	}
+	// B14's scaling/p99 gates are wall-clock figures wfbench enforces in
+	// CI without -race; here the structure is asserted: a closed-loop
+	// calibration row plus one open-loop row per shard count, with the
+	// saturated 1-shard row shedding work.
+	b14 := RunB14()
+	if len(b14.Rows) != 5 {
+		t.Fatalf("B14: rows=%d, want 5 (calibration + shards 1/2/4/8)", len(b14.Rows))
+	}
+	if shed := b14.Rows[1][4]; shed == "0" {
+		t.Errorf("B14: 1-shard row shed nothing at 4.5x calibrated capacity")
+	}
 }
 
 func TestSimulateSaga(t *testing.T) {
