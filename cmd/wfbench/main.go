@@ -1,7 +1,7 @@
 // Command wfbench regenerates the evaluation of EXPERIMENTS.md: the
-// correctness experiments E1–E11 that reproduce the paper's figures and
-// appendix traces (plus the WAL, checkpoint, storage-fault and
-// shard-crash chaos soaks), and the measurement tables B1–B14.
+// correctness experiments E1–E12 that reproduce the paper's figures and
+// appendix traces (plus the WAL, checkpoint, storage-fault, shard-crash
+// and archive-tier chaos soaks), and the measurement tables B1–B15.
 //
 //	wfbench                  # run everything
 //	wfbench -experiment E2   # one correctness experiment
@@ -28,8 +28,8 @@ func main() {
 }
 
 func realMain() int {
-	exp := flag.String("experiment", "all", "E1..E11, all, or none")
-	bench := flag.String("bench", "all", "B1..B14, S1, all, or none")
+	exp := flag.String("experiment", "all", "E1..E12, all, or none")
+	bench := flag.String("bench", "all", "B1..B15, S1, all, or none")
 	jsonOut := flag.String("json", "", "write every report as machine-readable JSON (wfbench/v1) to this file")
 	flightDump := flag.String("flight-dump", "", "attach a flight recorder to the default event bus and dump its JSONL here at exit")
 	flag.Parse()
@@ -53,12 +53,12 @@ func realMain() int {
 
 	experiments := map[string]func() *sim.Report{
 		"E1": sim.RunE1, "E2": sim.RunE2, "E3": sim.RunE3, "E4": sim.RunE4, "E5": sim.RunE5, "E6": sim.RunE6,
-		"E7": sim.RunE7, "E8": sim.RunE8, "E9": sim.RunE9, "E10": sim.RunE10, "E11": sim.RunE11,
+		"E7": sim.RunE7, "E8": sim.RunE8, "E9": sim.RunE9, "E10": sim.RunE10, "E11": sim.RunE11, "E12": sim.RunE12,
 	}
 	benches := map[string]func() *sim.Report{
 		"B1": sim.RunB1, "B2": sim.RunB2, "B3": sim.RunB3, "B4": sim.RunB4,
 		"B5": sim.RunB5, "B6": sim.RunB6, "B7": sim.RunB7, "B8": sim.RunB8, "B9": sim.RunB9,
-		"B10": sim.RunB10, "B11": sim.RunB11, "B12": sim.RunB12, "B13": sim.RunB13, "B14": sim.RunB14,
+		"B10": sim.RunB10, "B11": sim.RunB11, "B12": sim.RunB12, "B13": sim.RunB13, "B14": sim.RunB14, "B15": sim.RunB15,
 		"S1": sim.RunS1,
 	}
 
@@ -95,9 +95,9 @@ func realMain() int {
 			}
 		}
 	}
-	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"})
+	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"})
 	if code != 2 {
-		run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12", "B13", "B14", "S1"})
+		run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12", "B13", "B14", "B15", "S1"})
 	}
 	if bf != nil && code != 2 {
 		if err := bf.WriteFile(*jsonOut); err != nil {

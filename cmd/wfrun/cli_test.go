@@ -59,6 +59,8 @@ func TestUsageErrorsExitTwo(t *testing.T) {
 		{"zero shards", []string{"-n", "4", "-shards", "0", "x.fdl"}, "-shards must be >= 1"},
 		{"shards without fleet", []string{"-shards", "4", "x.fdl"}, "-shards requires fleet mode (-n > 1) or -resume"},
 		{"shards with checkpoint", []string{"-n", "4", "-shards", "2", "-wal", "w", "-checkpoint", "ck", "x.fdl"}, "-checkpoint is incompatible with -shards"},
+		{"archive without checkpoint or shards", []string{"-wal", "w", "-archive", "a", "x.fdl"}, "-archive requires -checkpoint or -shards"},
+		{"archive without wal", []string{"-n", "4", "-shards", "2", "-archive", "a", "x.fdl"}, "-archive requires -wal"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -401,5 +403,115 @@ func TestResumeWithCheckpoint(t *testing.T) {
 	}
 	if !strings.Contains(s, "resumed ") {
 		t.Errorf("resume summary missing:\n%s", s)
+	}
+	if !strings.Contains(s, "(recovery rung: "+wal.SourceNewestCheckpoint+")") {
+		t.Errorf("resume summary does not name the recovery rung:\n%s", s)
+	}
+}
+
+// TestResumeFromArchiveAfterLocalCheckpointLoss runs a checkpointed
+// fleet with -archive, destroys every local checkpoint, and resumes
+// with -archive: the ladder must climb past the empty local tiers to
+// the archive rung, fetch the newest archived checkpoint, account for
+// every instance, and name the rung in the summary line.
+func TestResumeFromArchiveAfterLocalCheckpointLoss(t *testing.T) {
+	bin := buildWfrun(t)
+	dir := t.TempDir()
+	fdl := demoFDL(t, dir)
+	segDir := filepath.Join(dir, "segs")
+	ckDir := filepath.Join(dir, "ckpts")
+	archDir := filepath.Join(dir, "arch")
+
+	out, err := exec.Command(bin, "-wal", segDir, "-checkpoint", ckDir,
+		"-archive", archDir, "-group-commit", "-n", "24", "-parallel", "4", fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("archived fleet run: %v\n%s", err, out)
+	}
+	// The run's shutdown drains the archiver, so the newest checkpoint
+	// must have an archived copy we can destroy the local tier against.
+	ents, err := os.ReadDir(archDir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("archive holds nothing: %v (%v)", ents, err)
+	}
+	cps, err := wal.ListCheckpoints(ckDir)
+	if err != nil || len(cps) == 0 {
+		t.Fatalf("no local checkpoint written: %v (%v)", cps, err)
+	}
+	for _, ci := range cps {
+		if err := os.Remove(ci.Path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out, err = exec.Command(bin, "-resume", "-wal", segDir, "-checkpoint", ckDir,
+		"-archive", archDir, fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume from archive: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"checkpoint seq ",
+		"failed=0",
+		"(recovery rung: " + wal.SourceArchiveCheckpoint + ")",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("resume output missing %q\n%s", want, s)
+		}
+	}
+}
+
+// TestShardedArchiveRunAndResume runs a sharded fleet with -archive
+// (which switches every shard to a checkpointed WAL with its own
+// archiver), burns the local checkpoints in every shard directory, and
+// resumes with -archive: each shard must recover through the archive
+// rung and the summary must tally the rungs.
+func TestShardedArchiveRunAndResume(t *testing.T) {
+	bin := buildWfrun(t)
+	dir := t.TempDir()
+	fdl := demoFDL(t, dir)
+	root := filepath.Join(dir, "fleet")
+	archDir := filepath.Join(dir, "arch")
+
+	// 64 instances x 6 records: even a badly skewed hash split leaves both
+	// shards past the 64-record checkpoint trigger, so each shard is
+	// guaranteed a local checkpoint (and an archived copy) to destroy.
+	out, err := exec.Command(bin, "-wal", root, "-archive", archDir, "-group-commit",
+		"-n", "64", "-shards", "2", "-parallel", "2", fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sharded archive run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fleet: 64 instances of demo across 2 shards: finished=64 failed=0") {
+		t.Fatalf("sharded summary missing:\n%s", out)
+	}
+	for i := 0; i < 2; i++ {
+		shard := fmt.Sprintf("shard-%02d", i)
+		cps, err := wal.ListCheckpoints(filepath.Join(root, shard))
+		if err != nil || len(cps) == 0 {
+			t.Fatalf("%s has no local checkpoint: %v (%v)", shard, cps, err)
+		}
+		for _, ci := range cps {
+			if err := os.Remove(ci.Path); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ents, err := os.ReadDir(filepath.Join(archDir, shard)); err != nil || len(ents) == 0 {
+			t.Fatalf("%s archive holds nothing: %v (%v)", shard, ents, err)
+		}
+	}
+
+	out, err = exec.Command(bin, "-resume", "-shards", "2", "-wal", root,
+		"-archive", archDir, fdl).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sharded resume from archive: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"from 2 shard directories",
+		"failed=0",
+		"recovery rungs: " + wal.SourceArchiveCheckpoint + "=2",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sharded resume output missing %q\n%s", want, s)
+		}
 	}
 }

@@ -69,6 +69,19 @@
 //	wfrun -process travel -n 16 -wal segs/ -checkpoint segs/ -group-commit travel.fdl
 //	wfrun -process travel -resume -wal segs/ -checkpoint segs/ travel.fdl
 //
+// With -archive DIR (requires -checkpoint, or -shards where each shard
+// owns a checkpointer) sealed segments and checkpoints are copied
+// asynchronously to a directory-backed archive store with verification,
+// retries and a circuit breaker; local pruning waits for verified
+// archived copies, so a degraded archive grows local retention instead
+// of stalling the run. -resume -archive adds a fourth recovery rung
+// that fetches missing or damaged checkpoints and sealed segments back
+// from the store (CRC-verified), and the summary line names the rung
+// that satisfied recovery:
+//
+//	wfrun -process travel -n 16 -wal segs/ -checkpoint segs/ -archive arch/ travel.fdl
+//	wfrun -process travel -resume -wal segs/ -checkpoint segs/ -archive arch/ travel.fdl
+//
 // Flag misuse exits 2 (usage), runtime failures exit 1: -fsync,
 // -crash-at, -group-commit, -resume and -checkpoint require -wal;
 // -flush-ms and -batch require -group-commit; -crash-at is incompatible
@@ -122,6 +135,7 @@ func main() {
 	batch := flag.Int("batch", 64, "group-commit max records per batch (requires -group-commit)")
 	resume := flag.Bool("resume", false, "recover every instance from the existing -wal log (and -checkpoint dir) instead of starting a new run")
 	ckptDir := flag.String("checkpoint", "", "checkpoint directory: -wal becomes a segment directory, a background checkpointer bounds restart work, and -resume seeds recovery from the newest checkpoint (requires -wal)")
+	archiveDir := flag.String("archive", "", "archive directory: sealed segments and checkpoints copy asynchronously to this directory-backed store, local pruning waits for verified archived copies, and -resume can fetch missing or damaged blobs back from it (requires -checkpoint or -shards)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the ops server (requires -metrics-addr)")
 	sseBuffer := flag.Int("sse-buffer", 256, "per-client event queue depth for the /events SSE tail (requires -metrics-addr)")
 	lingerMs := flag.Int("linger-ms", 0, "keep the ops HTTP surface serving this many milliseconds after the run completes (requires -metrics-addr)")
@@ -130,7 +144,7 @@ func main() {
 	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
 	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-breaker] [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir] [-resume]] [-n fleet [-shards k] [-parallel p] [-max-queue n] [-shed]] [-metrics] [-metrics-addr :port [-pprof] [-sse-buffer n] [-linger-ms n]] [-flight-recorder file] [-spans] file.fdl\n")
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-breaker] [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir [-archive dir]] [-resume]] [-n fleet [-shards k] [-parallel p] [-max-queue n] [-shed]] [-metrics] [-metrics-addr :port [-pprof] [-sse-buffer n] [-linger-ms n]] [-flight-recorder file] [-spans] file.fdl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -188,6 +202,10 @@ func main() {
 		usageError("-shards requires fleet mode (-n > 1) or -resume")
 	case *shardsN > 1 && *ckptDir != "":
 		usageError("-checkpoint is incompatible with -shards (each shard owns its checkpointer inside its shard directory)")
+	case *archiveDir != "" && *ckptDir == "" && *shardsN <= 1:
+		usageError("-archive requires -checkpoint or -shards (the checkpointer owns the archiver's enqueue points)")
+	case *archiveDir != "" && *walPath == "":
+		usageError("-archive requires -wal")
 	}
 
 	// The flight recorder taps the bus whenever something will consume its
@@ -317,10 +335,10 @@ func main() {
 
 	if *resume {
 		if *shardsN > 1 {
-			resumeSharded(build, *walPath, *metrics)
+			resumeSharded(build, *walPath, *archiveDir, *metrics)
 			return
 		}
-		resumeRun(build, *walPath, *ckptDir, *trace, *spans, *metrics)
+		resumeRun(build, *walPath, *ckptDir, *archiveDir, *trace, *spans, *metrics)
 		return
 	}
 
@@ -333,7 +351,7 @@ func main() {
 		// WAL/shard-NN itself, so the single-log setup below is skipped.
 		e, _ := build()
 		runSharded(e, name, *shardsN, *fleetN, *parallel, *maxQueue, *shed,
-			*walPath, *groupCommit, *fsync, recFormat, *flushMs, *batch, stop, *metrics)
+			*walPath, *archiveDir, *groupCommit, *fsync, recFormat, *flushMs, *batch, stop, *metrics)
 		return
 	}
 
@@ -342,6 +360,7 @@ func main() {
 	var slog *wal.SegmentedLog
 	var gclog *wal.GroupCommitLog
 	var ckpt *engine.Checkpointer
+	var arch *wal.Archiver
 	if *walPath != "" {
 		if *ckptDir != "" {
 			// Checkpointed mode: -wal names a segment directory; a
@@ -363,8 +382,19 @@ func main() {
 					wal.GroupMaxBatch(*batch))
 				log = gclog
 			}
-			ckpt = engine.NewCheckpointer(slog,
-				engine.CheckpointDir(*ckptDir), engine.CheckpointEveryRecords(64))
+			ckopts := []engine.CheckpointerOption{
+				engine.CheckpointDir(*ckptDir), engine.CheckpointEveryRecords(64),
+			}
+			if *archiveDir != "" {
+				st, err := wal.NewDirStore(*archiveDir)
+				if err != nil {
+					fatal(err)
+				}
+				arch = wal.NewArchiver(st)
+				arch.Start()
+				ckopts = append(ckopts, engine.CheckpointArchive(arch))
+			}
+			ckpt = engine.NewCheckpointer(slog, ckopts...)
 			ckpt.Start()
 		} else {
 			var opts []wal.FileOption
@@ -395,6 +425,14 @@ func main() {
 		var err error
 		if ckpt != nil {
 			err = ckpt.Stop()
+		}
+		if arch != nil {
+			// Best effort: give the queue a moment to flush so a later
+			// -resume can fetch from the archive, but never block shutdown
+			// on a degraded store — unarchived blobs stay local (pruning is
+			// archive-gated) and re-enqueue on the next run.
+			arch.Drain(2 * time.Second)
+			arch.Stop()
 		}
 		if gclog != nil {
 			if cerr := gclog.Close(); err == nil {
@@ -501,23 +539,34 @@ func main() {
 // (possibly crashed) wfrun left behind and resumes each to completion.
 // With a checkpoint directory, recovery seeds live instances from the
 // newest usable checkpoint and replays only the segment tail — the
-// fallback ladder (previous checkpoint, then full replay) engages
-// automatically when newer checkpoints are damaged.
-func resumeRun(build func() (*engine.Engine, *rm.Recorder), walPath, ckptDir string, trace, spans, metrics bool) {
+// fallback ladder (previous checkpoint, archive fetch with -archive,
+// then full replay) engages automatically when newer checkpoints are
+// damaged, and the summary names the rung that satisfied recovery.
+func resumeRun(build func() (*engine.Engine, *rm.Recorder), walPath, ckptDir, archiveDir string, trace, spans, metrics bool) {
 	e, rec := build()
 	var insts []*engine.Instance
 	doneN := 0
+	rung := wal.SourceFullReplay
 	if ckptDir != "" {
-		cp, err := wal.LoadCheckpoint(ckptDir)
+		var st wal.Store
+		if archiveDir != "" {
+			s, err := wal.NewDirStore(archiveDir)
+			if err != nil {
+				fatal(err)
+			}
+			st = s
+		}
+		cp, src, err := wal.LoadCheckpointStore(ckptDir, st)
 		if err != nil {
 			fatal(err)
 		}
+		rung = src
 		cover := 0
 		if cp != nil {
 			cover = cp.Cover
 			doneN = len(cp.Done)
 		}
-		tail, dropped, err := wal.RepairSegments(walPath, cover)
+		tail, dropped, err := wal.RepairSegmentsStore(walPath, cover, st)
 		if err != nil {
 			fatal(err)
 		}
@@ -570,8 +619,8 @@ func resumeRun(build func() (*engine.Engine, *rm.Recorder), walPath, ckptDir str
 		}
 		fmt.Printf("output: %s\n", inst.Output())
 	}
-	fmt.Printf("resumed %d instances (%d already finished in checkpoint): finished=%d failed=%d\n",
-		len(insts), doneN, finished, failed)
+	fmt.Printf("resumed %d instances (%d already finished in checkpoint): finished=%d failed=%d (recovery rung: %s)\n",
+		len(insts), doneN, finished, failed, rung)
 	if metrics {
 		fmt.Println("-- metrics --")
 		obs.WritePrometheus(os.Stdout, obs.Default)

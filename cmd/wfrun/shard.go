@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
@@ -17,14 +19,24 @@ import (
 // path becomes the fleet root directory holding one shard-NN
 // subdirectory per shard, each with its own (optionally group-commit)
 // segmented WAL. The summary reports per-shard placement so hash skew
-// and rebalancing are visible from the command line.
+// and rebalancing are visible from the command line. With -archive
+// each shard also runs a checkpointer and an archiver copying sealed
+// segments and checkpoints to ARCHIVE/shard-NN; local pruning waits
+// for verified archived copies, so a degraded archive only grows local
+// retention and never stalls the fleet.
 func runSharded(e *engine.Engine, process string, shards, fleetN, parallel, maxQueue int,
-	shed bool, walPath string, groupCommit, fsyncOn bool, format wal.Format,
+	shed bool, walPath, archiveDir string, groupCommit, fsyncOn bool, format wal.Format,
 	flushMs, batch int, stop <-chan struct{}, metrics bool) {
 	cfg := engine.FleetConfig{
 		Shards: shards, Dir: walPath, Parallel: parallel,
 		MaxQueue: maxQueue, HotQueue: parallel + maxQueue/2, Shed: shed,
 		GroupCommit: groupCommit, Fsync: fsyncOn, Format: format, Stop: stop,
+	}
+	if archiveDir != "" {
+		// The fleet validates that an archive tier rides on a checkpointer,
+		// so -archive switches sharded mode to checkpointed WALs too.
+		cfg.ArchiveDir = archiveDir
+		cfg.CheckpointEveryRecords = 64
 	}
 	if groupCommit {
 		cfg.GroupOpts = func(int) []wal.GroupOption {
@@ -41,6 +53,16 @@ func runSharded(e *engine.Engine, process string, shards, fleetN, parallel, maxQ
 	res, err := f.Run(process, fleetN, nil)
 	if err != nil {
 		fatal(err)
+	}
+	if archiveDir != "" {
+		// Best effort, outside the timed window (res.Elapsed is already
+		// captured): flush the archive queues so a later -resume -archive
+		// can fetch, but never block shutdown on a degraded store.
+		for _, sh := range f.Shards() {
+			if a := sh.Archiver(); a != nil {
+				a.Drain(2 * time.Second)
+			}
+		}
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
@@ -70,14 +92,26 @@ func runSharded(e *engine.Engine, process string, shards, fleetN, parallel, maxQ
 // resumeSharded recovers every instance a sharded run left under the
 // fleet root directory: each shard-NN subdirectory is recovered
 // independently (newest usable checkpoint, repaired segment tail, then
-// replay), and the concatenation is reported like a single-log resume.
-func resumeSharded(build func() (*engine.Engine, *rm.Recorder), root string, metrics bool) {
+// replay; with -archive, missing or damaged blobs are fetched back
+// from ARCHIVE/shard-NN), and the concatenation is reported like a
+// single-log resume, with the recovery rung each shard climbed to.
+func resumeSharded(build func() (*engine.Engine, *rm.Recorder), root, archiveDir string, metrics bool) {
 	e, _ := build()
 	dirs, err := engine.ShardDirs(root)
 	if err != nil {
 		fatal(err)
 	}
-	insts, err := engine.RecoverFleet(e, root, nil)
+	var stores func(shardDir string) wal.Store
+	if archiveDir != "" {
+		stores = func(shardDir string) wal.Store {
+			st, err := wal.NewDirStore(filepath.Join(archiveDir, shardDir))
+			if err != nil {
+				fatal(err)
+			}
+			return st
+		}
+	}
+	insts, rungs, err := engine.RecoverFleetStore(e, root, stores, nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,8 +123,23 @@ func resumeSharded(build func() (*engine.Engine, *rm.Recorder), root string, met
 			failed++
 		}
 	}
-	fmt.Printf("recovered %d instances from %d shard directories: finished=%d failed=%d\n",
-		len(insts), len(dirs), finished, failed)
+	// Tally the ladder rung each shard recovered through so archive
+	// fetches are visible in the summary line.
+	byRung := map[string]int{}
+	for _, r := range rungs {
+		byRung[r]++
+	}
+	var parts []string
+	for _, r := range []string{
+		wal.SourceNewestCheckpoint, wal.SourcePreviousCheckpoint,
+		wal.SourceArchiveCheckpoint, wal.SourceFullReplay,
+	} {
+		if n := byRung[r]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", r, n))
+		}
+	}
+	fmt.Printf("recovered %d instances from %d shard directories: finished=%d failed=%d (recovery rungs: %s)\n",
+		len(insts), len(dirs), finished, failed, strings.Join(parts, " "))
 	if metrics {
 		fmt.Println("-- metrics --")
 		obs.WritePrometheus(os.Stdout, obs.Default)

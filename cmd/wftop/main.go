@@ -139,6 +139,31 @@ func finishedRate(st, prev *obs.Status, sincePrev time.Duration) float64 {
 	return float64(delta) / sincePrev.Seconds()
 }
 
+// archiveLine renders the archive-tier row, present only when the run
+// archives its WAL (wfrun -archive) — keyed off the queue-depth gauge
+// the archiver registers. A degraded archive shows up as a growing
+// queue, climbing retries and an open breaker; the run itself never
+// stalls on it, so the line is the operator's main cue that local
+// retention is growing (see OPERATIONS.md "archive degraded").
+func archiveLine(st *obs.Status) (string, bool) {
+	depth, ok := st.Gauges["wal.archive.queue.depth"]
+	if !ok {
+		return "", false
+	}
+	state := "ok"
+	if st.Gauges["wal.archive.breaker.open"].Value > 0 {
+		state = "DEGRADED (breaker open)"
+	} else if st.Counters["wal.archive.retries"] > 0 {
+		state = "retrying"
+	}
+	return fmt.Sprintf("archive %s queued=%d queued-bytes=%d archived=%d retries=%d drops=%d",
+		state, depth.Value,
+		st.Gauges["wal.archive.queued_bytes"].Value,
+		st.Counters["wal.archive.archived"],
+		st.Counters["wal.archive.retries"],
+		st.Counters["wal.archive.drops"]), true
+}
+
 func render(w *os.File, addr string, st, prev *obs.Status, sincePrev time.Duration) {
 	fmt.Fprintf(w, "wftop  %s  up %s  bus published=%d dropped=%d subscribers=%d\n",
 		addr, (time.Duration(st.UptimeNs) * time.Nanosecond).Round(time.Millisecond),
@@ -179,6 +204,10 @@ func render(w *os.File, addr string, st, prev *obs.Status, sincePrev time.Durati
 			a := st.Gauges[fmt.Sprintf("engine.shard.%02d.active", id)]
 			fmt.Fprintf(w, "shard-%02d   %8d %8d %8d %8d\n", id, q.Value, q.Max, a.Value, a.Max)
 		}
+	}
+
+	if line, ok := archiveLine(st); ok {
+		fmt.Fprintln(w, line)
 	}
 
 	// Overload-control line: present only when the run has breakers wired

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -24,6 +25,37 @@ func TestShardIDs(t *testing.T) {
 	}
 	if ids := shardIDs(map[string]obs.GaugeSnapshot{"engine.queue.depth": {}}); len(ids) != 0 {
 		t.Fatalf("unsharded run produced shard rows: %v", ids)
+	}
+}
+
+// TestArchiveLine: the archive row appears only when the archiver's
+// queue-depth gauge exists, and its state escalates ok → retrying →
+// DEGRADED as retries accumulate and the breaker opens.
+func TestArchiveLine(t *testing.T) {
+	if _, ok := archiveLine(&obs.Status{
+		Gauges:   map[string]obs.GaugeSnapshot{"engine.fleet.queue.depth": {}},
+		Counters: map[string]int64{},
+	}); ok {
+		t.Fatal("archive line rendered for a run with no archiver")
+	}
+	st := &obs.Status{
+		Gauges: map[string]obs.GaugeSnapshot{
+			"wal.archive.queue.depth":  {Value: 2},
+			"wal.archive.queued_bytes": {Value: 512},
+		},
+		Counters: map[string]int64{"wal.archive.archived": 7},
+	}
+	line, ok := archiveLine(st)
+	if !ok || line != "archive ok queued=2 queued-bytes=512 archived=7 retries=0 drops=0" {
+		t.Fatalf("healthy line = %q ok=%v", line, ok)
+	}
+	st.Counters["wal.archive.retries"] = 3
+	if line, _ := archiveLine(st); !strings.HasPrefix(line, "archive retrying ") {
+		t.Fatalf("retrying line = %q", line)
+	}
+	st.Gauges["wal.archive.breaker.open"] = obs.GaugeSnapshot{Value: 1}
+	if line, _ := archiveLine(st); !strings.HasPrefix(line, "archive DEGRADED (breaker open) ") {
+		t.Fatalf("degraded line = %q", line)
 	}
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -94,6 +95,7 @@ type Checkpointer struct {
 	dir          string
 	interval     time.Duration
 	everyRecords int
+	arch         *wal.Archiver
 
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -126,6 +128,17 @@ func CheckpointEveryRecords(n int) CheckpointerOption {
 // segment directory.
 func CheckpointDir(dir string) CheckpointerOption {
 	return func(c *Checkpointer) { c.dir = dir }
+}
+
+// CheckpointArchive attaches an Archiver: every pass enqueues the log's
+// sealed segments and the surviving checkpoints for upload, and pruning
+// becomes archive-gated — a segment or checkpoint is deleted locally
+// only once its archived copy has CRC-verified (wal.Archiver.Verified).
+// A slow or down archive therefore grows local retention instead of
+// stalling checkpointing; the checkpoint pass itself never waits on the
+// store. The caller owns the archiver's lifecycle (Start/Stop).
+func CheckpointArchive(a *wal.Archiver) CheckpointerOption {
+	return func(c *Checkpointer) { c.arch = a }
 }
 
 // NewCheckpointer prepares a checkpointer for log. Run passes manually
@@ -161,6 +174,9 @@ func (c *Checkpointer) CheckpointNow() error {
 	var recs []wal.Record
 	maxIdx := cover
 	for _, s := range c.log.SealedSegments() {
+		if c.arch != nil {
+			c.arch.Enqueue(s.Path) // idempotent: verified/queued names are skipped
+		}
 		if s.Index <= cover {
 			continue
 		}
@@ -172,24 +188,58 @@ func (c *Checkpointer) CheckpointNow() error {
 		maxIdx = s.Index
 	}
 	if maxIdx == cover {
-		return nil
+		// Nothing newly sealed — but still run retention: a crash between a
+		// previous pass's checkpoint write and its prune would otherwise
+		// leave orphaned covered segments (and surplus checkpoints) on disk
+		// until new work seals a segment, and with an archiver attached a
+		// blob verified since the last pass only becomes prune-eligible
+		// here.
+		return c.retention()
 	}
 	cp := wal.BuildCheckpoint(prev, recs, maxIdx)
-	if _, err := wal.WriteCheckpoint(c.dir, cp); err != nil {
+	path, err := wal.WriteCheckpoint(c.dir, cp)
+	if err != nil {
 		return err
 	}
-	if _, err := wal.PruneCheckpoints(c.dir, 2); err != nil {
+	if c.arch != nil {
+		c.arch.Enqueue(path)
+	}
+	return c.retention()
+}
+
+// retention prunes checkpoints beyond the retained two and the segments
+// wholly covered by the older retained checkpoint: segments in
+// (older.Cover, newest.Cover] stay on disk as the previous-checkpoint
+// rung's tail. With an archiver attached both prunes are gated on
+// verified archived copies, and every survivor is (re-)enqueued so a
+// recovering archive eventually unblocks retention.
+func (c *Checkpointer) retention() error {
+	var ckptOK func(name string) bool
+	var segOK func(wal.SegmentInfo) bool
+	if c.arch != nil {
+		ckptOK = func(name string) bool { return c.arch.Verified(name) }
+		segOK = func(s wal.SegmentInfo) bool { return c.arch.Verified(filepath.Base(s.Path)) }
+	}
+	survivors, err := wal.PruneCheckpointsEligible(c.dir, 2, ckptOK)
+	if err != nil {
 		return err
 	}
-	if prev != nil {
-		// Retention: segments covered by the *previous* checkpoint are
-		// redundant for both retained rungs; segments in (prev.Cover,
-		// cp.Cover] stay on disk as the previous checkpoint's tail.
-		if _, err := c.log.Prune(prev.Cover); err != nil {
-			return err
+	if c.arch != nil {
+		for _, ci := range survivors {
+			c.arch.Enqueue(ci.Path)
 		}
 	}
-	return nil
+	if len(survivors) < 2 {
+		return nil
+	}
+	older, err := wal.ReadCheckpoint(survivors[len(survivors)-2].Path)
+	if err != nil {
+		// A damaged older checkpoint can't vouch for what it covers; leave
+		// the segments for the recovery ladder to sort out.
+		return nil
+	}
+	_, err = c.log.PruneEligible(older.Cover, segOK)
+	return err
 }
 
 // Start launches the background loop. Stop it with Stop.

@@ -125,6 +125,19 @@ type FleetConfig struct {
 	// that checkpoints after every n appended records (0 = no
 	// checkpointer). Requires Dir.
 	CheckpointEveryRecords int
+	// ArchiveDir enables the archive tier: each shard's sealed segments
+	// and checkpoints archive asynchronously to a wal.DirStore under
+	// ArchiveDir/shard-NN, and local pruning becomes archive-gated.
+	// Requires CheckpointEveryRecords (the Checkpointer owns the
+	// archiver's enqueue points).
+	ArchiveDir string
+	// ArchiveStore, when non-nil, overrides the store each shard archives
+	// to — the archive fault-injection seam (E12 wraps a FaultStore per
+	// shard this way). Takes precedence over ArchiveDir.
+	ArchiveStore func(shard int) wal.Store
+	// ArchiveOpts supplies extra Archiver options per shard (timeouts,
+	// backoff, breaker thresholds; soaks pin seeds here).
+	ArchiveOpts func(shard int) []wal.ArchiverOption
 	// GroupOpts, when non-nil, supplies extra GroupCommitLog options for
 	// a shard — the fault-injection seam (the E11 soak crashes one
 	// shard's group commit with wal.GroupCrashAfter this way).
@@ -153,6 +166,7 @@ type Shard struct {
 	glog  *wal.GroupCommitLog
 	log   wal.Log // outermost log instances append to (after WrapLog)
 	ckpt  *Checkpointer
+	arch  *wal.Archiver
 
 	queue  *obs.Gauge // engine.shard.NN.queue.depth
 	active *obs.Gauge // engine.shard.NN.active
@@ -166,6 +180,10 @@ type Shard struct {
 // Log exposes the log instances of this shard append to (nil only
 // before the fleet finished construction).
 func (sh *Shard) Log() wal.Log { return sh.log }
+
+// Archiver exposes the shard's archive uploader (nil when the fleet has
+// no archive tier) — monitoring and tests drain or inspect it here.
+func (sh *Shard) Archiver() *wal.Archiver { return sh.arch }
 
 // Fleet partitions process instances across N engine shards by
 // consistent-hash placement on instance ID (ShardFor). Each shard owns
@@ -202,6 +220,9 @@ func NewFleet(e *Engine, cfg FleetConfig) (*Fleet, error) {
 	}
 	if cfg.Dir == "" && (cfg.GroupCommit || cfg.Fsync || cfg.CheckpointEveryRecords > 0) {
 		return nil, errors.New("engine: fleet durability options require a directory")
+	}
+	if (cfg.ArchiveDir != "" || cfg.ArchiveStore != nil) && cfg.CheckpointEveryRecords <= 0 {
+		return nil, errors.New("engine: fleet archive tier requires CheckpointEveryRecords")
 	}
 	f := &Fleet{e: e, cfg: cfg}
 	reg := e.Metrics()
@@ -241,9 +262,31 @@ func NewFleet(e *Engine, cfg FleetConfig) (*Fleet, error) {
 				sh.log = sh.glog
 			}
 			if cfg.CheckpointEveryRecords > 0 {
-				sh.ckpt = NewCheckpointer(slog,
+				copts := []CheckpointerOption{
 					CheckpointDir(dir),
-					CheckpointEveryRecords(cfg.CheckpointEveryRecords))
+					CheckpointEveryRecords(cfg.CheckpointEveryRecords),
+				}
+				if cfg.ArchiveStore != nil || cfg.ArchiveDir != "" {
+					store := wal.Store(nil)
+					if cfg.ArchiveStore != nil {
+						store = cfg.ArchiveStore(i)
+					} else {
+						ds, err := wal.NewDirStore(filepath.Join(cfg.ArchiveDir, ShardDirName(i)))
+						if err != nil {
+							f.Close()
+							return nil, fmt.Errorf("engine: shard %d archive: %w", i, err)
+						}
+						store = ds
+					}
+					var aopts []wal.ArchiverOption
+					if cfg.ArchiveOpts != nil {
+						aopts = cfg.ArchiveOpts(i)
+					}
+					sh.arch = wal.NewArchiver(store, aopts...)
+					sh.arch.Start()
+					copts = append(copts, CheckpointArchive(sh.arch))
+				}
+				sh.ckpt = NewCheckpointer(slog, copts...)
 				sh.ckpt.Start()
 			}
 		} else {
@@ -494,6 +537,13 @@ func (f *Fleet) Close() error {
 		if sh.ckpt != nil {
 			sh.ckpt.Stop()
 		}
+		if sh.arch != nil {
+			// Stop after the checkpointer's final pass so its last
+			// checkpoint is enqueued; whatever has not uploaded yet is
+			// still on local disk (pruning is verification-gated), so a
+			// non-empty queue at shutdown loses nothing.
+			sh.arch.Stop()
+		}
 		if sh.glog != nil {
 			if err := sh.glog.Close(); err != nil && first == nil {
 				first = err
@@ -555,32 +605,53 @@ func (f *Fleet) Stats() FleetStats {
 // writes. Recovery stops at the first shard that fails, returning the
 // instances recovered so far alongside the error.
 func RecoverFleet(e *Engine, root string, newLog func(instanceID string) wal.Log) ([]*Instance, error) {
+	insts, _, err := RecoverFleetStore(e, root, nil, newLog)
+	return insts, err
+}
+
+// RecoverFleetStore is RecoverFleet with the archive rung: store, when
+// non-nil, supplies each shard's archive backend (keyed by the shard
+// directory's base name, e.g. "shard-00"), and the per-shard ladder
+// extends to fetching a checkpoint or sealed segment from the archive
+// when the local copy is missing or damaged — every fetched blob is
+// CRC-verified, and a miss or corrupt blob falls through to the next
+// rung exactly like local damage. The returned map reports, per shard
+// directory, which ladder rung satisfied that shard's checkpoint load
+// (wal.SourceNewestCheckpoint … wal.SourceFullReplay) — wfrun -resume
+// surfaces it in its summary line.
+func RecoverFleetStore(e *Engine, root string, store func(shardDir string) wal.Store, newLog func(instanceID string) wal.Log) ([]*Instance, map[string]string, error) {
 	dirs, err := ShardDirs(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(dirs) == 0 {
-		return nil, fmt.Errorf("engine: no shard-NN directories under %s", root)
+		return nil, nil, fmt.Errorf("engine: no shard-NN directories under %s", root)
 	}
+	rungs := make(map[string]string, len(dirs))
 	var out []*Instance
 	for _, dir := range dirs {
-		cp, err := wal.LoadCheckpoint(dir)
-		if err != nil {
-			return out, fmt.Errorf("engine: shard %s checkpoint: %w", dir, err)
+		var st wal.Store
+		if store != nil {
+			st = store(filepath.Base(dir))
 		}
+		cp, src, err := wal.LoadCheckpointStore(dir, st)
+		if err != nil {
+			return out, rungs, fmt.Errorf("engine: shard %s checkpoint: %w", dir, err)
+		}
+		rungs[filepath.Base(dir)] = src
 		cover := 0
 		if cp != nil {
 			cover = cp.Cover
 		}
-		tail, _, err := wal.RepairSegments(dir, cover)
+		tail, _, err := wal.RepairSegmentsStore(dir, cover, st)
 		if err != nil {
-			return out, fmt.Errorf("engine: shard %s repair: %w", dir, err)
+			return out, rungs, fmt.Errorf("engine: shard %s repair: %w", dir, err)
 		}
 		insts, err := RecoverAllFromCheckpoint(e, cp, tail, newLog)
 		out = append(out, insts...)
 		if err != nil {
-			return out, fmt.Errorf("engine: recovering shard %s: %w", dir, err)
+			return out, rungs, fmt.Errorf("engine: recovering shard %s: %w", dir, err)
 		}
 	}
-	return out, nil
+	return out, rungs, nil
 }

@@ -255,4 +255,10 @@ const (
 	EvBreakerHalfOpen = "breaker.half_open" // cooldown elapsed, probe admitted; Program set
 	EvBreakerClose    = "breaker.close"     // probe succeeded, normal flow resumed; Program set
 	EvRetryExhausted  = "retry.exhausted"   // retry budget empty, retry forgone; Program set
+
+	EvArchivePut          = "wal.archive.put"           // blob archived and read-back CRC verified; Cause = blob name, N = bytes
+	EvArchiveRetry        = "wal.archive.retry"         // archive op failed, will back off and retry; Cause = error, N = consecutive failures
+	EvArchiveBreakerOpen  = "wal.archive.breaker_open"  // consecutive archive failures opened the breaker; N = failures
+	EvArchiveBreakerClose = "wal.archive.breaker_close" // archive probe succeeded, uploads resumed
+	EvArchiveFetch        = "wal.archive.fetch"         // recovery fetched a blob from the archive; Cause = blob name, N = bytes
 )

@@ -268,7 +268,7 @@ func e11Fleet(root string, victim, crashAt int, shortWrite bool, track []*ackTra
 
 // E11 scale: e11FleetN saga instances over e11Shards shards.
 const (
-	e11Shards  = 3
+	e11Shards = 3
 	e11FleetN = 6
 )
 

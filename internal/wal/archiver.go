@@ -1,0 +1,402 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Archiver asynchronously copies sealed segments and completed
+// checkpoints into a Store. It is owned by the layer that seals files —
+// engine.Checkpointer enqueues every sealed segment and every checkpoint
+// it writes — and runs one background goroutine so archival never sits
+// on the append or checkpoint path. Each upload is bounded by a per-op
+// timeout, retried with capped exponential backoff plus jitter, and
+// verified after upload by reading the blob back and comparing its
+// CRC-32C against the local bytes: only a verified blob makes its name
+// Verified, and local pruning is gated on Verified — nothing is deleted
+// locally until its archived copy is known good.
+//
+// Consecutive failures trip a circuit breaker: uploads pause for a
+// cooldown, then a single probe either closes the breaker or re-opens
+// it. A slow, flaky, or down archive therefore degrades gracefully —
+// the queue (and local retention) grows, group commit and checkpointing
+// never stall, and the wal.archive.* metrics and events surface the lag,
+// queued bytes, retries and breaker state to /statusz and wftop.
+//
+// Verification state lives in memory: after a restart everything still
+// on local disk re-enqueues and re-uploads (Put is an idempotent
+// overwrite of identical bytes), re-establishing prune eligibility.
+type Archiver struct {
+	store Store
+
+	opTimeout    time.Duration
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+	breakerAfter int
+	cooldown     time.Duration
+
+	mu       sync.Mutex
+	queue    []archiveJob
+	queued   map[string]bool // names queued or in flight
+	verified map[string]bool
+	inflight string
+	fails    int  // consecutive failures
+	open     bool // breaker open
+	rng      *rand.Rand
+	stop     chan struct{}
+	stopped  chan struct{}
+	wake     chan struct{}
+
+	reg         *obs.Registry
+	archived    *obs.Counter // wal.archive.archived
+	bytes       *obs.Counter // wal.archive.bytes
+	retries     *obs.Counter // wal.archive.retries
+	drops       *obs.Counter // wal.archive.drops
+	depth       *obs.Gauge   // wal.archive.queue.depth (lag, in blobs)
+	queuedBytes *obs.Gauge   // wal.archive.queued_bytes
+	breaker     *obs.Gauge   // wal.archive.breaker.open
+}
+
+// archiveJob is one file awaiting archival.
+type archiveJob struct {
+	name string
+	path string
+	size int64
+}
+
+// ArchiverOption configures an Archiver.
+type ArchiverOption func(*Archiver)
+
+// ArchiveOpTimeout bounds each store operation (default 2s).
+func ArchiveOpTimeout(d time.Duration) ArchiverOption {
+	return func(a *Archiver) {
+		if d > 0 {
+			a.opTimeout = d
+		}
+	}
+}
+
+// ArchiveBackoff sets the retry backoff's base and cap (defaults 50ms
+// and 2s). The actual delay is the capped exponential with half-range
+// jitter, so a fleet of archivers retrying against one recovering
+// backend does not thunder.
+func ArchiveBackoff(base, max time.Duration) ArchiverOption {
+	return func(a *Archiver) {
+		if base > 0 {
+			a.backoffBase = base
+		}
+		if max > 0 {
+			a.backoffMax = max
+		}
+	}
+}
+
+// ArchiveBreakerAfter opens the circuit breaker after n consecutive
+// failed uploads (default 3).
+func ArchiveBreakerAfter(n int) ArchiverOption {
+	return func(a *Archiver) {
+		if n > 0 {
+			a.breakerAfter = n
+		}
+	}
+}
+
+// ArchiveBreakerCooldown sets how long an open breaker pauses uploads
+// before probing again (default 1s).
+func ArchiveBreakerCooldown(d time.Duration) ArchiverOption {
+	return func(a *Archiver) {
+		if d > 0 {
+			a.cooldown = d
+		}
+	}
+}
+
+// ArchiveMetricsRegistry points the archiver's instrumentation at reg
+// instead of obs.Default.
+func ArchiveMetricsRegistry(reg *obs.Registry) ArchiverOption {
+	return func(a *Archiver) { a.reg = reg }
+}
+
+// ArchiveSeed seeds the jitter source (tests pin it for reproducible
+// backoff schedules).
+func ArchiveSeed(seed int64) ArchiverOption {
+	return func(a *Archiver) { a.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewArchiver prepares an archiver over store. Start launches the
+// background loop; Enqueue may be called before or after Start.
+func NewArchiver(store Store, opts ...ArchiverOption) *Archiver {
+	a := &Archiver{
+		store:        store,
+		opTimeout:    2 * time.Second,
+		backoffBase:  50 * time.Millisecond,
+		backoffMax:   2 * time.Second,
+		breakerAfter: 3,
+		cooldown:     time.Second,
+		queued:       map[string]bool{},
+		verified:     map[string]bool{},
+		rng:          rand.New(rand.NewSource(1)),
+		wake:         make(chan struct{}, 1),
+		reg:          obs.Default,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	a.archived = a.reg.Counter("wal.archive.archived")
+	a.bytes = a.reg.Counter("wal.archive.bytes")
+	a.retries = a.reg.Counter("wal.archive.retries")
+	a.drops = a.reg.Counter("wal.archive.drops")
+	a.depth = a.reg.Gauge("wal.archive.queue.depth")
+	a.queuedBytes = a.reg.Gauge("wal.archive.queued_bytes")
+	a.breaker = a.reg.Gauge("wal.archive.breaker.open")
+	return a
+}
+
+// Store returns the backend blobs are archived to.
+func (a *Archiver) Store() Store { return a.store }
+
+// Enqueue schedules the file at path for archival under its base name.
+// Already-verified or already-queued names are ignored, so callers may
+// re-enqueue every sealed file each pass. Safe before Start.
+func (a *Archiver) Enqueue(path string) {
+	name := filepath.Base(path)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.verified[name] || a.queued[name] {
+		return
+	}
+	size := int64(0)
+	if fi, err := os.Stat(path); err == nil {
+		size = fi.Size()
+	}
+	a.queue = append(a.queue, archiveJob{name: name, path: path, size: size})
+	a.queued[name] = true
+	a.depth.Set(int64(len(a.queue)))
+	a.queuedBytes.Add(size)
+	select {
+	case a.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Verified reports whether the named blob's archived copy has been
+// CRC-verified this process lifetime — the prune-eligibility gate.
+func (a *Archiver) Verified(name string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.verified[name]
+}
+
+// Lag reports how many blobs are queued or in flight — the archival lag
+// an unavailable backend grows.
+func (a *Archiver) Lag() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(a.queue)
+	if a.inflight != "" {
+		n++
+	}
+	return n
+}
+
+// BreakerOpen reports whether the circuit breaker is currently open.
+func (a *Archiver) BreakerOpen() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.open
+}
+
+// Start launches the background upload loop. Stop it with Stop.
+func (a *Archiver) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stop != nil {
+		return
+	}
+	a.stop = make(chan struct{})
+	a.stopped = make(chan struct{})
+	go a.run(a.stop, a.stopped)
+}
+
+// Stop halts the background loop, leaving any unarchived queue behind
+// (the files are still on local disk — pruning is gated on verification,
+// so nothing is lost). Use Drain first for a best-effort flush.
+func (a *Archiver) Stop() {
+	a.mu.Lock()
+	stop, stopped := a.stop, a.stopped
+	a.stop, a.stopped = nil, nil
+	a.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-stopped
+	}
+}
+
+// Drain waits until the queue is empty (everything verified) or the
+// timeout elapses, reporting whether it drained. A down archive makes
+// Drain time out — callers treat that as degradation, not failure.
+func (a *Archiver) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if a.Lag() == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return a.Lag() == 0
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// run is the background loop: pop, upload+verify, back off on failure,
+// honor the breaker.
+func (a *Archiver) run(stop, stopped chan struct{}) {
+	defer close(stopped)
+	for {
+		a.mu.Lock()
+		var job archiveJob
+		have := false
+		if len(a.queue) > 0 {
+			job = a.queue[0]
+			a.queue = a.queue[1:]
+			a.inflight = job.name
+			have = true
+			a.depth.Set(int64(len(a.queue)))
+		}
+		a.mu.Unlock()
+
+		if !have {
+			select {
+			case <-stop:
+				return
+			case <-a.wake:
+			}
+			continue
+		}
+
+		err := a.attempt(job)
+		a.mu.Lock()
+		a.inflight = ""
+		if err == nil {
+			delete(a.queued, job.name)
+			a.verified[job.name] = true
+			a.queuedBytes.Add(-job.size)
+			a.fails = 0
+			wasOpen := a.open
+			a.open = false
+			a.breaker.Set(0)
+			a.mu.Unlock()
+			a.archived.Inc()
+			a.bytes.Add(job.size)
+			if obs.DefaultBus.Active() {
+				if wasOpen {
+					obs.DefaultBus.Publish(obs.Event{Kind: obs.EvArchiveBreakerClose})
+				}
+				obs.DefaultBus.Publish(obs.Event{Kind: obs.EvArchivePut, Cause: job.name, N: job.size})
+			}
+			continue
+		}
+		if os.IsNotExist(err) {
+			// The local file vanished before it could be archived. Pruning is
+			// gated on verification, so this means the caller deleted it
+			// deliberately (or the whole directory is gone); drop the job.
+			delete(a.queued, job.name)
+			a.queuedBytes.Add(-job.size)
+			a.mu.Unlock()
+			a.drops.Inc()
+			continue
+		}
+		// Failure: requeue at the front (uploads stay in seal order) and
+		// back off, possibly tripping the breaker.
+		a.queue = append([]archiveJob{job}, a.queue...)
+		a.depth.Set(int64(len(a.queue)))
+		a.fails++
+		fails := a.fails
+		opened := false
+		if !a.open && fails >= a.breakerAfter {
+			a.open = true
+			opened = true
+			a.breaker.Set(1)
+		}
+		wait := a.backoffFor(fails)
+		if a.open {
+			wait = a.cooldown
+		}
+		a.mu.Unlock()
+		a.retries.Inc()
+		if obs.DefaultBus.Active() {
+			obs.DefaultBus.Publish(obs.Event{Kind: obs.EvArchiveRetry, Cause: err.Error(), N: int64(fails)})
+			if opened {
+				obs.DefaultBus.Publish(obs.Event{Kind: obs.EvArchiveBreakerOpen, N: int64(fails)})
+			}
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// backoffFor computes the capped exponential backoff with half-range
+// jitter for the n-th consecutive failure (n >= 1). Called with a.mu
+// held (the rng is guarded by it).
+func (a *Archiver) backoffFor(n int) time.Duration {
+	d := a.backoffBase << uint(n-1)
+	if d <= 0 || d > a.backoffMax {
+		d = a.backoffMax
+	}
+	j := time.Duration(a.rng.Int63n(int64(d)/2 + 1))
+	return d/2 + j
+}
+
+// attempt uploads one file and verifies the stored copy byte-for-byte
+// via CRC-32C read-back.
+func (a *Archiver) attempt(job archiveJob) error {
+	data, err := os.ReadFile(job.path)
+	if err != nil {
+		return err
+	}
+	if err := a.withTimeout("put "+job.name, func() error {
+		return a.store.Put(job.name, data)
+	}); err != nil {
+		return err
+	}
+	var got []byte
+	if err := a.withTimeout("get "+job.name, func() error {
+		var gerr error
+		got, gerr = a.store.Get(job.name)
+		return gerr
+	}); err != nil {
+		return err
+	}
+	if len(got) != len(data) || crc32Checksum(got) != crc32Checksum(data) {
+		return fmt.Errorf("wal: archive verify %s: stored blob CRC mismatch (%d bytes stored, %d local)",
+			job.name, len(got), len(data))
+	}
+	return nil
+}
+
+// withTimeout runs one store operation under the per-op deadline. The
+// operation goroutine is left to finish on its own if it overruns — the
+// Store contract makes a late Put harmless (idempotent overwrite).
+func (a *Archiver) withTimeout(what string, op func() error) error {
+	done := make(chan error, 1)
+	go func() { done <- op() }()
+	t := time.NewTimer(a.opTimeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		return fmt.Errorf("%w: %s after %v", ErrStoreTimeout, what, a.opTimeout)
+	}
+}

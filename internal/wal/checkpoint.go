@@ -190,6 +190,14 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
+	return ParseCheckpoint(data, filepath.Base(path))
+}
+
+// ParseCheckpoint strictly decodes checkpoint bytes (see ReadCheckpoint)
+// — the shared core for local files and archive-fetched blobs, so a
+// blob corrupted in the archive is CRC-rejected exactly like a damaged
+// local file. name labels errors.
+func ParseCheckpoint(data []byte, name string) (*Checkpoint, error) {
 	lines := bytes.Split(data, []byte("\n"))
 	// A well-formed file ends with a newline, so the final split element is
 	// empty; any other empty line is malformed enough to reject implicitly
@@ -201,30 +209,30 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 		}
 	}
 	if len(body) == 0 {
-		return nil, fmt.Errorf("wal: checkpoint %s: empty file", filepath.Base(path))
+		return nil, fmt.Errorf("wal: checkpoint %s: empty file", name)
 	}
 	hl := body[0]
 	if len(hl) < 10 || hl[8] != ' ' {
-		return nil, fmt.Errorf("wal: checkpoint %s: malformed header frame", filepath.Base(path))
+		return nil, fmt.Errorf("wal: checkpoint %s: malformed header frame", name)
 	}
 	if _, err := parseFrame(hl); err != nil {
-		return nil, fmt.Errorf("wal: checkpoint %s: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("wal: checkpoint %s: %w", name, err)
 	}
 	var hdr ckptHeader
 	if err := json.Unmarshal(hl[9:], &hdr); err != nil {
-		return nil, fmt.Errorf("wal: checkpoint %s: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("wal: checkpoint %s: %w", name, err)
 	}
 	if hdr.V != CheckpointVersion {
-		return nil, fmt.Errorf("wal: checkpoint %s: unsupported version %d", filepath.Base(path), hdr.V)
+		return nil, fmt.Errorf("wal: checkpoint %s: unsupported version %d", name, hdr.V)
 	}
 	if len(body)-1 != hdr.N {
-		return nil, fmt.Errorf("wal: checkpoint %s: header declares %d records, found %d", filepath.Base(path), hdr.N, len(body)-1)
+		return nil, fmt.Errorf("wal: checkpoint %s: header declares %d records, found %d", name, hdr.N, len(body)-1)
 	}
 	cp := &Checkpoint{Seq: hdr.Seq, Cover: hdr.Cover, Done: hdr.Done}
 	for i, ln := range body[1:] {
 		rec, err := parseLine(ln)
 		if err != nil {
-			return nil, fmt.Errorf("wal: checkpoint %s: record %d: %w", filepath.Base(path), i+1, err)
+			return nil, fmt.Errorf("wal: checkpoint %s: record %d: %w", name, i+1, err)
 		}
 		cp.Records = append(cp.Records, rec)
 	}
@@ -272,34 +280,120 @@ func ListCheckpoints(dir string) ([]CheckpointInfo, error) {
 	return out, nil
 }
 
+// The recovery-ladder rungs LoadCheckpointStore reports — which source
+// satisfied checkpoint recovery. wfrun -resume surfaces the rung in its
+// summary line.
+const (
+	// SourceNewestCheckpoint: the newest local checkpoint read back clean.
+	SourceNewestCheckpoint = "newest-checkpoint"
+	// SourcePreviousCheckpoint: the newest was damaged; an older local
+	// checkpoint was used.
+	SourcePreviousCheckpoint = "previous-checkpoint"
+	// SourceArchiveCheckpoint: no local checkpoint was usable; one was
+	// fetched from the archive store and CRC-verified.
+	SourceArchiveCheckpoint = "archive-checkpoint"
+	// SourceFullReplay: no usable checkpoint anywhere; recover by full
+	// replay of the segments.
+	SourceFullReplay = "full-replay"
+)
+
 // LoadCheckpoint walks the recovery fallback ladder: it tries the newest
 // checkpoint in dir, then each older one, returning the first that reads
 // back clean. Every damaged checkpoint skipped increments the
 // recover.checkpoint_fallbacks counter. (nil, nil) means no usable
 // checkpoint — recover by full replay.
 func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	cp, _, err := LoadCheckpointStore(dir, nil)
+	return cp, err
+}
+
+// LoadCheckpointStore is LoadCheckpoint with the archive rung: when no
+// local checkpoint is usable and store is non-nil, the archived
+// checkpoints are tried newest-first — each fetched blob must decode
+// CRC-clean (ParseCheckpoint) or it is skipped exactly like a damaged
+// local file, counted in recover.checkpoint_fallbacks. An unavailable
+// archive or an archive miss falls through to (nil, SourceFullReplay,
+// nil): the archive tier can delay recovery's best rung, never block
+// recovery. The returned source names the rung that satisfied the load.
+func LoadCheckpointStore(dir string, store Store) (*Checkpoint, string, error) {
 	infos, err := ListCheckpoints(dir)
 	if err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	fallback := func(seq int, cause error) {
+		obs.Default.Counter("recover.checkpoint_fallbacks").Inc()
+		if obs.DefaultBus.Active() {
+			obs.DefaultBus.Publish(obs.Event{Kind: obs.EvWalCheckpointFallback,
+				N: int64(seq), Cause: cause.Error()})
+		}
 	}
 	for i := len(infos) - 1; i >= 0; i-- {
 		cp, err := ReadCheckpoint(infos[i].Path)
 		if err == nil {
-			return cp, nil
+			src := SourceNewestCheckpoint
+			if i < len(infos)-1 {
+				src = SourcePreviousCheckpoint
+			}
+			return cp, src, nil
 		}
-		obs.Default.Counter("recover.checkpoint_fallbacks").Inc()
-		if obs.DefaultBus.Active() {
-			obs.DefaultBus.Publish(obs.Event{Kind: obs.EvWalCheckpointFallback,
-				N: int64(infos[i].Seq), Cause: err.Error()})
+		fallback(infos[i].Seq, err)
+	}
+	if store != nil {
+		names, err := store.List()
+		if err != nil {
+			// A down archive is degradation, not failure: full replay still
+			// recovers everything local retention holds.
+			names = nil
+		}
+		type blob struct {
+			seq  int
+			name string
+		}
+		var blobs []blob
+		for _, name := range names {
+			var seq int
+			if n, err := fmt.Sscanf(name, "ckpt-%06d.ckpt", &seq); n == 1 && err == nil && filepath.Ext(name) == ".ckpt" {
+				blobs = append(blobs, blob{seq: seq, name: name})
+			}
+		}
+		sort.Slice(blobs, func(i, j int) bool { return blobs[i].seq > blobs[j].seq })
+		for _, b := range blobs {
+			data, err := store.Get(b.name)
+			if err != nil {
+				fallback(b.seq, err)
+				continue
+			}
+			cp, err := ParseCheckpoint(data, b.name)
+			if err != nil {
+				fallback(b.seq, err)
+				continue
+			}
+			obs.Default.Counter("recover.archive_fetches").Inc()
+			if obs.DefaultBus.Active() {
+				obs.DefaultBus.Publish(obs.Event{Kind: obs.EvArchiveFetch,
+					Cause: b.name, N: int64(len(data))})
+			}
+			return cp, SourceArchiveCheckpoint, nil
 		}
 	}
-	return nil, nil
+	return nil, SourceFullReplay, nil
 }
 
 // PruneCheckpoints deletes all but the newest keep checkpoint files in
 // dir (retention keeps two: the newest plus its predecessor as the
 // fallback rung). It returns the surviving checkpoints in sequence order.
 func PruneCheckpoints(dir string, keep int) ([]CheckpointInfo, error) {
+	return PruneCheckpointsEligible(dir, keep, nil)
+}
+
+// PruneCheckpointsEligible is PruneCheckpoints gated by an eligibility
+// predicate: a checkpoint outside the newest keep is deleted only when
+// eligible (keyed by file base name) returns true — the archive gate,
+// where eligibility means "archived copy CRC-verified". Ineligible
+// checkpoints survive (retention grows while the archive is degraded)
+// and are re-offered on the next pass. A nil predicate admits
+// everything. Survivors are returned in sequence order.
+func PruneCheckpointsEligible(dir string, keep int, eligible func(name string) bool) ([]CheckpointInfo, error) {
 	infos, err := ListCheckpoints(dir)
 	if err != nil {
 		return nil, err
@@ -310,14 +404,23 @@ func PruneCheckpoints(dir string, keep int) ([]CheckpointInfo, error) {
 	if len(infos) <= keep {
 		return infos, nil
 	}
-	drop := infos[:len(infos)-keep]
-	for _, ci := range drop {
+	survivors := append([]CheckpointInfo(nil), infos[len(infos)-keep:]...)
+	removed := false
+	for _, ci := range infos[:len(infos)-keep] {
+		if eligible != nil && !eligible(filepath.Base(ci.Path)) {
+			survivors = append(survivors, ci)
+			continue
+		}
 		if err := os.Remove(ci.Path); err != nil && !os.IsNotExist(err) {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
+		removed = true
 	}
-	if err := syncDir(dir); err != nil {
-		return nil, err
+	if removed {
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
 	}
-	return infos[len(infos)-keep:], nil
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].Seq < survivors[j].Seq })
+	return survivors, nil
 }

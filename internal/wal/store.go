@@ -1,0 +1,355 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Store is the archive seam: a flat namespace of sealed, immutable blobs
+// keyed by file base name ("wal-000001.seg", "ckpt-000002.ckpt"). The
+// Archiver copies sealed segments and completed checkpoints into a Store
+// and the recovery ladder's archive rung fetches them back. The
+// interface is deliberately minimal — put/get/list/delete over whole
+// blobs — so an S3-style object store, an embedded KV, or a plain
+// directory (DirStore) all fit behind it, and a FaultStore can enumerate
+// every operation the archival durability argument depends on.
+//
+// Contract: blobs are written at most once per name with identical
+// content (sealed files never change), so Put may overwrite freely; Get
+// must return exactly the bytes of the newest successful Put. A Store
+// is allowed to be slow, flaky, or down — every caller treats errors as
+// retryable degradation, never as data loss.
+type Store interface {
+	// Put stores data under name, replacing any existing blob.
+	Put(name string, data []byte) error
+	// Get returns the blob stored under name, or ErrStoreMiss.
+	Get(name string) ([]byte, error)
+	// List returns the stored blob names in lexical order.
+	List() ([]string, error)
+	// Delete removes the named blob; deleting an absent blob is a no-op.
+	Delete(name string) error
+}
+
+// Typed archive-fault sentinels. FaultStore returns them from scheduled
+// operations; DirStore maps a missing blob to ErrStoreMiss. Callers
+// distinguish a miss (fall through the recovery ladder) from
+// unavailability (retry/back off/trip the breaker).
+var (
+	// ErrStoreMiss is returned by Get for a name that holds no blob.
+	ErrStoreMiss = errors.New("wal: archive blob not found")
+	// ErrStoreUnavailable is the injected equivalent of a connection
+	// refusal: the backend rejected the operation outright.
+	ErrStoreUnavailable = errors.New("wal: archive unavailable")
+	// ErrStoreTimeout is an archive operation that exceeded its deadline;
+	// whether the backend applied it is unknown (puts are idempotent, so
+	// the archiver simply retries).
+	ErrStoreTimeout = errors.New("wal: archive operation timed out")
+)
+
+// DirStore is a Store over a local directory — the zero-config default
+// backend for `wfrun -archive DIR`. Put is atomic (tmp + fsync + rename
+// + directory fsync, the same publication discipline as WriteCheckpoint)
+// so a crash mid-Put never leaves a visible torn blob.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if needed) a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("wal: archive dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+// Put implements Store with an atomic write-then-rename.
+func (s *DirStore) Put(name string, data []byte) error {
+	path := filepath.Join(s.dir, name)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: archive put: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: archive put: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: archive put: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: archive put: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: archive put: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// Get implements Store.
+func (s *DirStore) Get(name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("%w: %s", ErrStoreMiss, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: archive get: %w", err)
+	}
+	return data, nil
+}
+
+// List implements Store, ignoring temporaries left by a crashed Put.
+func (s *DirStore) List() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: archive list: %w", err)
+	}
+	var out []string
+	for _, ent := range ents {
+		if ent.IsDir() || strings.HasSuffix(ent.Name(), ".tmp") {
+			continue
+		}
+		out = append(out, ent.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(name string) error {
+	if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("wal: archive delete: %w", err)
+	}
+	return nil
+}
+
+// StoreFaultKind selects which archive operation a FaultStore corrupts
+// and how.
+type StoreFaultKind int
+
+// The archive faults a FaultStore can inject.
+const (
+	// StoreUnavailable fails any operation with ErrStoreUnavailable
+	// without touching the inner store — the backend is down.
+	StoreUnavailable StoreFaultKind = iota
+	// StoreTimeout delays, then fails any operation with ErrStoreTimeout.
+	// The inner store is not touched, modeling a request the backend
+	// never saw (puts are idempotent, so retrying is always safe).
+	StoreTimeout
+	// StorePartialWrite makes a Put silently store a truncated blob and
+	// report success — the fault CRC verification after upload exists to
+	// catch.
+	StorePartialWrite
+	// StoreCorruptRead makes a Get return the blob with a flipped bit —
+	// the fault fetch-time CRC verification exists to catch.
+	StoreCorruptRead
+)
+
+// String names the fault for reports.
+func (k StoreFaultKind) String() string {
+	switch k {
+	case StoreUnavailable:
+		return "unavailable"
+	case StoreTimeout:
+		return "timeout"
+	case StorePartialWrite:
+		return "partial-write"
+	case StoreCorruptRead:
+		return "corrupt-read"
+	default:
+		return fmt.Sprintf("StoreFaultKind(%d)", int(k))
+	}
+}
+
+// matches reports whether an operation class can carry this fault:
+// unavailability and timeouts hit any operation, partial writes only a
+// Put, corrupt reads only a Get.
+func (k StoreFaultKind) matches(op storeOp) bool {
+	switch k {
+	case StorePartialWrite:
+		return op == storePut
+	case StoreCorruptRead:
+		return op == storeGet
+	default:
+		return true
+	}
+}
+
+// storeOp classifies a Store operation for fault matching.
+type storeOp int
+
+const (
+	storePut storeOp = iota
+	storeGet
+	storeOther
+)
+
+// FaultStore wraps a Store and injects one scheduled typed fault — the
+// FaultFS idiom lifted to the archive domain. Every Put/Get/List/Delete
+// increments a shared operation counter; the first operation at or past
+// FailAt whose class matches the fault kind misbehaves. The fault fires
+// once by default (the backend recovers — exactly the case where an
+// archiver must retry rather than give up); StoreSticky keeps it broken,
+// modeling a dead backend. failAt <= 0 injects nothing and turns the
+// FaultStore into a pure operation counter, which the E12 sweep uses to
+// size its fault schedules.
+//
+// FaultStore is safe for concurrent use.
+type FaultStore struct {
+	inner Store
+
+	mu     sync.Mutex
+	kind   StoreFaultKind
+	failAt int64
+	sticky bool
+	delay  time.Duration // StoreTimeout stall before the sentinel
+	ops    int64
+	fired  bool
+}
+
+// StoreFaultOption configures a FaultStore.
+type StoreFaultOption func(*FaultStore)
+
+// StoreSticky makes every matching operation from the scheduled one
+// onward fail — a backend that stays down.
+func StoreSticky() StoreFaultOption {
+	return func(s *FaultStore) { s.sticky = true }
+}
+
+// StoreTimeoutDelay sets how long a StoreTimeout fault stalls before
+// returning ErrStoreTimeout (default 10ms — long enough to overlap an
+// archiver's per-op deadline in tests, short enough not to slow soaks).
+func StoreTimeoutDelay(d time.Duration) StoreFaultOption {
+	return func(s *FaultStore) {
+		if d > 0 {
+			s.delay = d
+		}
+	}
+}
+
+// NewFaultStore returns a FaultStore over inner that fails the first
+// kind-matching operation at or past the failAt-th store operation
+// (1-based). failAt <= 0 never fails (count-only mode).
+func NewFaultStore(inner Store, kind StoreFaultKind, failAt int64, opts ...StoreFaultOption) *FaultStore {
+	s := &FaultStore{inner: inner, kind: kind, failAt: failAt, delay: 10 * time.Millisecond}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Ops reports how many store operations have passed through so far.
+func (s *FaultStore) Ops() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+// Fired reports whether the scheduled fault has been injected.
+func (s *FaultStore) Fired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// step counts one operation and decides whether it is the scheduled
+// fault.
+func (s *FaultStore) step(op storeOp) (StoreFaultKind, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops++
+	if s.failAt <= 0 || s.ops < s.failAt {
+		return 0, false
+	}
+	if s.fired && !s.sticky {
+		return 0, false
+	}
+	if !s.kind.matches(op) {
+		return 0, false
+	}
+	s.fired = true
+	return s.kind, true
+}
+
+// Put implements Store.
+func (s *FaultStore) Put(name string, data []byte) error {
+	if kind, fire := s.step(storePut); fire {
+		switch kind {
+		case StoreUnavailable:
+			return fmt.Errorf("%w: put %s", ErrStoreUnavailable, name)
+		case StoreTimeout:
+			time.Sleep(s.delay)
+			return fmt.Errorf("%w: put %s", ErrStoreTimeout, name)
+		case StorePartialWrite:
+			// The nasty case: the backend acked a truncated object. Only
+			// read-back verification can catch this.
+			return s.inner.Put(name, data[:len(data)/2])
+		}
+	}
+	return s.inner.Put(name, data)
+}
+
+// Get implements Store.
+func (s *FaultStore) Get(name string) ([]byte, error) {
+	if kind, fire := s.step(storeGet); fire {
+		switch kind {
+		case StoreUnavailable:
+			return nil, fmt.Errorf("%w: get %s", ErrStoreUnavailable, name)
+		case StoreTimeout:
+			time.Sleep(s.delay)
+			return nil, fmt.Errorf("%w: get %s", ErrStoreTimeout, name)
+		case StoreCorruptRead:
+			data, err := s.inner.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			corrupt := append([]byte(nil), data...)
+			if len(corrupt) > 0 {
+				corrupt[len(corrupt)/2] ^= 0x40
+			}
+			return corrupt, nil
+		}
+	}
+	return s.inner.Get(name)
+}
+
+// List implements Store.
+func (s *FaultStore) List() ([]string, error) {
+	if kind, fire := s.step(storeOther); fire {
+		switch kind {
+		case StoreUnavailable:
+			return nil, fmt.Errorf("%w: list", ErrStoreUnavailable)
+		case StoreTimeout:
+			time.Sleep(s.delay)
+			return nil, fmt.Errorf("%w: list", ErrStoreTimeout)
+		}
+	}
+	return s.inner.List()
+}
+
+// Delete implements Store.
+func (s *FaultStore) Delete(name string) error {
+	if kind, fire := s.step(storeOther); fire {
+		switch kind {
+		case StoreUnavailable:
+			return fmt.Errorf("%w: delete %s", ErrStoreUnavailable, name)
+		case StoreTimeout:
+			time.Sleep(s.delay)
+			return fmt.Errorf("%w: delete %s", ErrStoreTimeout, name)
+		}
+	}
+	return s.inner.Delete(name)
+}
