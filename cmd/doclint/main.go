@@ -21,8 +21,18 @@
 // DESIGN.md — an experiment without an index row is undocumented, an
 // index row without a mention is unmeasured.
 //
+// When the -xref directory has an OPERATIONS.md, the check also
+// cross-references its wfquery recipes against the CLI's registered
+// subcommands (history.Subcommands(), the same registry cmd/wfquery
+// dispatches from): every `wfquery <sub>` mentioned in code spans or
+// fenced blocks must name a registered subcommand, and every registered
+// subcommand must have at least one documented recipe. Drift here means
+// the runbook's copy-pasteable one-liners would not run — it exits 2
+// (hard error), not 1.
+//
 // Exit status: 0 clean, 1 findings (each printed as file:line: message),
-// 2 usage or parse errors.
+// 2 usage or parse errors — or documented wfquery recipes drifting from
+// the binary's registered subcommands.
 package main
 
 import (
@@ -39,6 +49,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/history"
 )
 
 func main() {
@@ -66,8 +78,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	drift := 0
 	if *xrefRoot != "" {
 		if err := checkXref(*xrefRoot, report); err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		if err := checkWfqueryXref(*xrefRoot, func(pos, msg string) {
+			report(pos, msg)
+			drift++
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
 			os.Exit(2)
 		}
@@ -80,6 +100,11 @@ func main() {
 	}
 	if findings > 0 {
 		fmt.Printf("doclint: %d finding(s)\n", findings)
+		if drift > 0 {
+			// Subcommand drift means documented recipes would not run —
+			// a registry disagreement, not a doc typo.
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -201,6 +226,77 @@ func checkXref(root string, report func(pos, msg string)) error {
 		}
 	}
 	return nil
+}
+
+// wfqueryMention matches `wfquery <subcommand>` inside a code context.
+var wfqueryMention = regexp.MustCompile(`\bwfquery\s+([a-z][a-z0-9-]*)`)
+
+// inlineCode extracts `...` spans from a markdown line.
+var inlineCode = regexp.MustCompile("`[^`]*`")
+
+// checkWfqueryXref cross-references OPERATIONS.md's wfquery recipes
+// against the CLI's registered subcommands (history.Subcommands()):
+// a documented subcommand the binary does not dispatch, or a registered
+// subcommand with no documented recipe, is drift. Only code contexts
+// count — fenced blocks and inline code spans — so prose like "wfquery
+// subcommands" is not a recipe. Roots without an OPERATIONS.md are
+// skipped (the check is specific to this repository's runbook layout).
+func checkWfqueryXref(root string, report func(pos, msg string)) error {
+	opsPath := filepath.Join(root, "OPERATIONS.md")
+	data, err := os.ReadFile(opsPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	registered := make(map[string]bool)
+	for _, sub := range history.Subcommands() {
+		registered[sub] = true
+	}
+	documented := make(map[string]int) // subcommand -> first recipe line
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		spans := []string{line}
+		if !inFence {
+			spans = inlineCode.FindAllString(line, -1)
+		}
+		for _, span := range spans {
+			for _, m := range wfqueryMention.FindAllStringSubmatch(span, -1) {
+				if _, dup := documented[m[1]]; !dup {
+					documented[m[1]] = i + 1
+				}
+			}
+		}
+	}
+	for _, sub := range sortedKeys(documented) {
+		if !registered[sub] {
+			report(fmt.Sprintf("%s:%d", opsPath, documented[sub]),
+				fmt.Sprintf("wfquery recipe uses subcommand %q, which the CLI does not register (have: %s)",
+					sub, strings.Join(history.Subcommands(), ", ")))
+		}
+	}
+	for _, sub := range history.Subcommands() {
+		if _, ok := documented[sub]; !ok {
+			report(opsPath,
+				fmt.Sprintf("registered wfquery subcommand %q has no recipe in OPERATIONS.md", sub))
+		}
+	}
+	return nil
+}
+
+// sortedKeys orders a string-keyed map's keys.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // sortedXrefIDs orders identifiers letter-first, then numerically, so

@@ -148,3 +148,64 @@ func TestDoclintCleanTree(t *testing.T) {
 		t.Fatalf("doclint on the repository failed: %v\n%s", err, out)
 	}
 }
+
+// TestDoclintWfqueryXref pins the wfquery-recipe cross-check: a recipe
+// naming an unregistered subcommand, or a registered subcommand with no
+// recipe, is drift and exits 2; a complete, correct runbook is clean; a
+// root with no OPERATIONS.md skips the check entirely.
+func TestDoclintWfqueryXref(t *testing.T) {
+	bin := buildDoclint(t)
+
+	write := func(ops string) string {
+		t.Helper()
+		dir := t.TempDir()
+		for name, body := range map[string]string{
+			"DESIGN.md":      "| E1 | a |\n",
+			"EXPERIMENTS.md": "E1 passes.\n",
+			"OPERATIONS.md":  ops,
+		} {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir
+	}
+
+	// Every registered subcommand documented, inline and fenced: clean.
+	clean := write("Run `wfquery agg trail.jsonl` or `wfquery reach -target B f.fdl`.\n" +
+		"```\nwfquery state -wal run.wal -inst inst-1 demo.fdl\nwfquery tail -addr :9090\n```\n" +
+		"Prose about wfquery subcommands does not count.\n")
+	if out, err := exec.Command(bin, "-xref", clean).CombinedOutput(); err != nil {
+		t.Fatalf("clean runbook reported findings: %v\n%s", err, out)
+	}
+
+	// An unregistered subcommand in a recipe and a missing recipe for a
+	// registered one: both reported, exit 2.
+	drift := write("Use `wfquery agg t.jsonl`, `wfquery frobnicate x`, and `wfquery reach -target B f.fdl`.\n" +
+		"Also `wfquery state -wal w -inst i f.fdl`.\n")
+	out, err := exec.Command(bin, "-xref", drift).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("drift: expected exit 2, got %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`wfquery recipe uses subcommand "frobnicate"`,
+		`registered wfquery subcommand "tail" has no recipe`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+
+	// No OPERATIONS.md: the wfquery check is skipped, the B/E check
+	// still runs clean.
+	skip := t.TempDir()
+	for name, body := range map[string]string{"DESIGN.md": "| E1 | a |\n", "EXPERIMENTS.md": "E1 passes.\n"} {
+		if err := os.WriteFile(filepath.Join(skip, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out, err := exec.Command(bin, "-xref", skip).CombinedOutput(); err != nil {
+		t.Fatalf("root without OPERATIONS.md should be clean: %v\n%s", err, out)
+	}
+}

@@ -1,7 +1,8 @@
 // Command wfbench regenerates the evaluation of EXPERIMENTS.md: the
-// correctness experiments E1–E12 that reproduce the paper's figures and
-// appendix traces (plus the WAL, checkpoint, storage-fault, shard-crash
-// and archive-tier chaos soaks), and the measurement tables B1–B15.
+// correctness experiments E1–E13 that reproduce the paper's figures and
+// appendix traces (plus the WAL, checkpoint, storage-fault, shard-crash,
+// archive-tier and queryable-history soaks), and the measurement tables
+// B1–B16.
 //
 //	wfbench                  # run everything
 //	wfbench -experiment E2   # one correctness experiment
@@ -9,6 +10,7 @@
 //	wfbench -experiment none # measurements only
 //	wfbench -json out.json   # also write a machine-readable wfbench/v1 file
 //	wfbench -flight-dump f.jsonl  # dump the run's event-bus flight recorder
+//	wfbench -trail-export t.jsonl # stream every bus event as a history/v1 trail
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -28,11 +31,28 @@ func main() {
 }
 
 func realMain() int {
-	exp := flag.String("experiment", "all", "E1..E12, all, or none")
-	bench := flag.String("bench", "all", "B1..B15, S1, all, or none")
+	exp := flag.String("experiment", "all", "E1..E13, all, or none")
+	bench := flag.String("bench", "all", "B1..B16, S1, all, or none")
 	jsonOut := flag.String("json", "", "write every report as machine-readable JSON (wfbench/v1) to this file")
 	flightDump := flag.String("flight-dump", "", "attach a flight recorder to the default event bus and dump its JSONL here at exit")
+	trailExport := flag.String("trail-export", "", "stream every default-bus event to this file as a history/v1 JSONL trail export (unbounded, unlike the flight recorder's ring)")
 	flag.Parse()
+
+	if *trailExport != "" {
+		w, err := history.NewWriter(*trailExport)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfbench: trail export: %v\n", err)
+			return 1
+		}
+		w.Attach(obs.DefaultBus)
+		defer func() {
+			if err := w.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "wfbench: trail export: %v\n", err)
+				return
+			}
+			fmt.Printf("wrote %s (%d events)\n", *trailExport, w.Events())
+		}()
+	}
 
 	if *flightDump != "" {
 		rec := obs.NewRecorder(obs.DefaultRecorderSize)
@@ -54,11 +74,12 @@ func realMain() int {
 	experiments := map[string]func() *sim.Report{
 		"E1": sim.RunE1, "E2": sim.RunE2, "E3": sim.RunE3, "E4": sim.RunE4, "E5": sim.RunE5, "E6": sim.RunE6,
 		"E7": sim.RunE7, "E8": sim.RunE8, "E9": sim.RunE9, "E10": sim.RunE10, "E11": sim.RunE11, "E12": sim.RunE12,
+		"E13": sim.RunE13,
 	}
 	benches := map[string]func() *sim.Report{
 		"B1": sim.RunB1, "B2": sim.RunB2, "B3": sim.RunB3, "B4": sim.RunB4,
 		"B5": sim.RunB5, "B6": sim.RunB6, "B7": sim.RunB7, "B8": sim.RunB8, "B9": sim.RunB9,
-		"B10": sim.RunB10, "B11": sim.RunB11, "B12": sim.RunB12, "B13": sim.RunB13, "B14": sim.RunB14, "B15": sim.RunB15,
+		"B10": sim.RunB10, "B11": sim.RunB11, "B12": sim.RunB12, "B13": sim.RunB13, "B14": sim.RunB14, "B15": sim.RunB15, "B16": sim.RunB16,
 		"S1": sim.RunS1,
 	}
 
@@ -95,9 +116,9 @@ func realMain() int {
 			}
 		}
 	}
-	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"})
+	run(*exp, experiments, []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"})
 	if code != 2 {
-		run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12", "B13", "B14", "B15", "S1"})
+		run(*bench, benches, []string{"B1", "B2", "B3", "B4", "B5", "B6", "B7", "B8", "B9", "B10", "B11", "B12", "B13", "B14", "B15", "B16", "S1"})
 	}
 	if bf != nil && code != 2 {
 		if err := bf.WriteFile(*jsonOut); err != nil {

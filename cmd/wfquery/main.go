@@ -1,0 +1,531 @@
+// Command wfquery queries workflow history: the event-sourced remains a
+// run leaves behind — WAL segments, checkpoints, trail exports, flight
+// dumps, sharded fleet roots — become answerable questions instead of
+// archaeology. It is the read side of the Figure 5 pipeline: wfrun
+// writes the history, wfquery interrogates it.
+//
+// Four query classes, one subcommand each:
+//
+//	wfquery state -wal DIR -inst wf-0003 -at 17 file.fdl
+//
+// Time travel: the state of one instance as of trail boundary T (its
+// T-th audit-trail event, 1-based; 0 means the newest recorded
+// boundary). The instance's records are located through the same
+// recovery ladder as wfrun -resume — newest checkpoint plus segment
+// tail when the instance is live in it, full history otherwise, shard
+// directories probed boundedly first — and replayed by deterministic
+// re-navigation with a trail observer capturing the snapshot at T.
+// Replay never re-invokes resource managers for recorded outcomes; if a
+// torn log ends mid-flight, the registered stub programs halt the
+// continuation with an error rather than fabricate history. -full
+// forces the full-history baseline (the rung B16 measures against);
+// -checkpoint names a separate checkpoint directory, as in wfrun.
+//
+//	wfquery agg TRAIL.jsonl
+//
+// Fleet aggregation over a recorded trail (a history/v1 export from
+// wfrun -trail-export, a flight/v1 recorder dump, or "-" for stdin):
+// instance outcomes, failure causes, compensation rate, overload
+// counters, and per-program latency quantiles from dispatch/finished
+// event pairs. The counts mirror the engine's metric registry 1:1; the
+// E13 soak asserts exact agreement.
+//
+//	wfquery tail -addr localhost:9090 -every 100
+//
+// Continuous queries: the same aggregation predicates evaluated
+// incrementally over a live /events SSE stream (wfrun -metrics-addr)
+// with bounded memory, emitting a running summary every -every events.
+// -from FILE streams a recorded trail through the same evaluator.
+//
+//	wfquery reach -after T6 -outcome abort -target C5 file.fdl
+//
+// Static reachability over the compiled process graph: can -target ever
+// run in an execution where -after terminated with -outcome? The answer
+// is a sound over-approximation — "unreachable" is a proof, "reachable"
+// is absence of one, "infeasible" means no execution satisfies the
+// constraint at all.
+//
+// Flag misuse exits 2 (usage), runtime failures exit 1, like wfrun.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/fdl"
+	"repro/internal/fmtm"
+	"repro/internal/history"
+	"repro/internal/obs"
+)
+
+// commands maps each subcommand to its implementation. The keys must
+// equal history.Subcommands() — the canonical registry doclint -xref
+// checks OPERATIONS.md recipes against; a unit test pins the agreement.
+var commands = map[string]struct {
+	run      func(args []string)
+	synopsis string
+}{
+	"agg":   {runAgg, "aggregate a recorded trail (history/v1 or flight/v1 JSONL)"},
+	"reach": {runReach, "static reachability over a compiled FDL process"},
+	"state": {runState, "time travel: instance state as of a trail boundary"},
+	"tail":  {runTail, "continuous aggregation over a live /events SSE stream"},
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: wfquery <command> [-flags] [args]\ncommands:\n")
+	for _, name := range history.Subcommands() {
+		fmt.Fprintf(os.Stderr, "  %-6s %s\n", name, commands[name].synopsis)
+	}
+	fmt.Fprintf(os.Stderr, "run 'wfquery <command> -h' for per-command flags\n")
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	c, ok := commands[os.Args[1]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wfquery: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	c.run(os.Args[2:])
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wfquery: %v\n", err)
+	os.Exit(1)
+}
+
+func usageError(fs *flag.FlagSet, msg string) {
+	fmt.Fprintln(os.Stderr, "wfquery: "+msg)
+	fs.Usage()
+	os.Exit(2)
+}
+
+// loadFDL parses and checks the positional FDL file of a subcommand.
+func loadFDL(path string) *fdl.File {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	file, err := fdl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := file.Check(); err != nil {
+		fatal(err)
+	}
+	if len(file.Processes) == 0 {
+		fatal(fmt.Errorf("no processes in %s", path))
+	}
+	return file
+}
+
+// pickProcess resolves -process, defaulting to the file's first.
+func pickProcess(file *fdl.File, name string) string {
+	if name == "" {
+		return file.Processes[0].Name
+	}
+	if file.Process(name) == nil {
+		var names []string
+		for _, p := range file.Processes {
+			names = append(names, p.Name)
+		}
+		fatal(fmt.Errorf("no process %q in file (have %s)", name, strings.Join(names, ", ")))
+	}
+	return name
+}
+
+// ---- wfquery state ----
+
+// replayBuilder assembles the history.Builder for time-travel replay:
+// process templates from the FDL file, the pass-through runtime for
+// translated NOPs, and for every other program a stub that refuses to
+// run — recorded outcomes replay from the log, and a torn log's
+// continuation halts instead of inventing history.
+func replayBuilder(file *fdl.File) history.Builder {
+	return func(opts ...engine.Option) (*engine.Engine, error) {
+		eopts := append([]engine.Option{
+			engine.WithMetrics(obs.NewRegistry()),
+			engine.WithBus(obs.NewBus()),
+		}, opts...)
+		e := engine.New(eopts...)
+		for _, prog := range file.Programs {
+			if prog.Name == fmtm.CopyName {
+				if err := fmtm.RegisterRuntime(e); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			name := prog.Name
+			if err := e.RegisterProgram(name, engine.ProgramFunc(func(*engine.Invocation) error {
+				return fmt.Errorf("wfquery: program %s invoked past recorded history", name)
+			})); err != nil {
+				return nil, err
+			}
+		}
+		if err := fmtm.Install(e, file); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+}
+
+// stateAnswer is the JSON shape of a time-travel answer.
+type stateAnswer struct {
+	Instance   string            `json:"inst"`
+	Process    string            `json:"process"`
+	Boundary   int               `json:"boundary"`
+	Boundaries int               `json:"boundaries"`
+	Status     string            `json:"status"`
+	Cause      string            `json:"cause,omitempty"`
+	TrailLen   int               `json:"trail_len"`
+	Output     map[string]string `json:"output,omitempty"`
+	Activities []activityAnswer  `json:"activities"`
+	Source     *history.Stats    `json:"source"`
+}
+
+type activityAnswer struct {
+	Path  string `json:"path"`
+	State string `json:"state"`
+	Iter  int    `json:"iter,omitempty"`
+	Dead  bool   `json:"dead,omitempty"`
+}
+
+func runState(args []string) {
+	fs := flag.NewFlagSet("wfquery state", flag.ExitOnError)
+	walPath := fs.String("wal", "", "WAL file, segment directory, or sharded fleet root of the run (required)")
+	ckptDir := fs.String("checkpoint", "", "separate checkpoint directory (wfrun -checkpoint; default: co-located with the segments)")
+	full := fs.Bool("full", false, "force the full-history rung: read and demultiplex the whole WAL even when a checkpoint could bound the read")
+	inst := fs.String("inst", "", "instance ID to reconstruct (required)")
+	at := fs.Int("at", 0, "trail boundary to travel to (1-based; 0 = newest recorded)")
+	process := fs.String("process", "", "process template of the instance (default: the file's first process)")
+	jsonOut := fs.Bool("json", false, "print the snapshot as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wfquery state -wal PATH -inst ID [-at K] [-checkpoint DIR] [-full] [-process NAME] [-json] file.fdl\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	switch {
+	case fs.NArg() != 1:
+		usageError(fs, "state wants exactly one FDL file argument")
+	case *walPath == "":
+		usageError(fs, "state requires -wal")
+	case *inst == "":
+		usageError(fs, "state requires -inst")
+	case *at < 0:
+		usageError(fs, "-at must be >= 0 (1-based boundary; 0 = newest)")
+	}
+	file := loadFDL(fs.Arg(0))
+	pickProcess(file, *process) // validates -process; recovery finds the template by record
+	src := &history.Source{WAL: *walPath, Checkpoint: *ckptDir, Full: *full}
+	snap, n, stats, err := src.StateAt(replayBuilder(file), *inst, *at)
+	if err != nil {
+		fatal(err)
+	}
+	ans := &stateAnswer{
+		Instance: snap.ID, Process: snap.Process,
+		Boundary: snap.TrailLen, Boundaries: n,
+		Status: snap.Status, Cause: snap.Cause, TrailLen: snap.TrailLen,
+		Source: stats,
+	}
+	if len(snap.Output) > 0 {
+		ans.Output = make(map[string]string, len(snap.Output))
+		for k, v := range snap.Output {
+			ans.Output[k] = v.String()
+		}
+	}
+	for _, a := range snap.Activities {
+		ans.Activities = append(ans.Activities, activityAnswer{Path: a.Path, State: a.State, Iter: a.Iter, Dead: a.Dead})
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ans); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("instance %s of %s as of boundary %d/%d: status=%s", ans.Instance, ans.Process, ans.Boundary, ans.Boundaries, ans.Status)
+	if ans.Cause != "" {
+		fmt.Printf(" cause=%q", ans.Cause)
+	}
+	fmt.Println()
+	fmt.Printf("source: rung=%s records-read=%d replayed=%d", stats.Rung, stats.RecordsRead, stats.RecordsReplayed)
+	if stats.Shards > 0 {
+		fmt.Printf(" shards-probed=%d", stats.Shards)
+	}
+	fmt.Println()
+	for _, a := range ans.Activities {
+		fmt.Printf("  %-30s %s", a.Path, a.State)
+		if a.Iter > 0 {
+			fmt.Printf(" iter=%d", a.Iter)
+		}
+		if a.Dead {
+			fmt.Print(" dead")
+		}
+		fmt.Println()
+	}
+	if len(ans.Output) > 0 {
+		keys := make([]string, 0, len(ans.Output))
+		for k := range ans.Output {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var parts []string
+		for _, k := range keys {
+			parts = append(parts, k+"="+ans.Output[k])
+		}
+		fmt.Printf("output: %s\n", strings.Join(parts, " "))
+	}
+}
+
+// ---- wfquery agg ----
+
+func runAgg(args []string) {
+	fs := flag.NewFlagSet("wfquery agg", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the aggregate as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wfquery agg [-json] TRAIL.jsonl   (\"-\" reads stdin)\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usageError(fs, "agg wants exactly one trail file argument")
+	}
+	var s *history.Store
+	var err error
+	if fs.Arg(0) == "-" {
+		s, err = history.Read(os.Stdin)
+	} else {
+		s, err = history.Load(fs.Arg(0))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	a := s.Aggregate()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(a); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	schema := s.Schema
+	if schema == "" {
+		schema = "bare JSONL"
+	}
+	fmt.Printf("trail: %d events (%s)\n", a.Events, schema)
+	fmt.Printf("instances: created=%d started=%d finished=%d failed=%d canceled=%d\n",
+		a.Created, a.Started, a.Finished, a.Failed, a.Canceled)
+	if len(a.Causes) > 0 {
+		causes := make([]string, 0, len(a.Causes))
+		for c := range a.Causes {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		var parts []string
+		for _, c := range causes {
+			parts = append(parts, fmt.Sprintf("%q=%d", c, a.Causes[c]))
+		}
+		fmt.Printf("causes: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Printf("compensations: %d (rate %.3f)\n", a.Compensations, a.CompensationRate)
+	fmt.Printf("overload: retries=%d sheds=%d breaker-trips=%d rebalances=%d\n",
+		a.Retries, a.Sheds, a.BreakerTrips, a.Rebalances)
+	fmt.Printf("navigation: dead-paths=%d loops=%d\n", a.DeadPaths, a.Loops)
+	for _, p := range a.Programs() {
+		q := a.Latency[p]
+		fmt.Printf("latency %-20s n=%-6d p50=%dns p95=%dns p99=%dns\n", p, q.Count, q.P50, q.P95, q.P99)
+	}
+}
+
+// ---- wfquery tail ----
+
+func runTail(args []string) {
+	fs := flag.NewFlagSet("wfquery tail", flag.ExitOnError)
+	addr := fs.String("addr", "", "ops address of a running wfrun (-metrics-addr) to follow via /events SSE")
+	from := fs.String("from", "", "stream a recorded trail file through the evaluator instead of a live server")
+	every := fs.Int("every", 0, "emit a running aggregate every N events (0 = only the final one)")
+	max := fs.Int("max", 0, "stop after N events (0 = until the stream ends)")
+	jsonOut := fs.Bool("json", false, "emit aggregates as JSON lines")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wfquery tail (-addr host:port | -from TRAIL.jsonl) [-every n] [-max n] [-json]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	switch {
+	case fs.NArg() != 0:
+		usageError(fs, "tail takes no positional arguments")
+	case (*addr == "") == (*from == ""):
+		usageError(fs, "tail requires exactly one of -addr or -from")
+	case *every < 0 || *max < 0:
+		usageError(fs, "-every and -max must be >= 0")
+	}
+	var r io.Reader
+	sse := false
+	if *addr != "" {
+		url := *addr
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		resp, err := http.Get(strings.TrimSuffix(url, "/") + "/events")
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("/events: %s", resp.Status))
+		}
+		r, sse = resp.Body, true
+	} else {
+		f, err := os.Open(*from)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	if err := tailStream(os.Stdout, r, sse, *every, *max, *jsonOut); err != nil {
+		fatal(err)
+	}
+}
+
+// tailStream feeds a line stream — SSE frames or trail JSONL — through
+// the continuous evaluator, emitting running aggregates. Memory stays
+// bounded regardless of stream length (see history.Continuous).
+func tailStream(w io.Writer, r io.Reader, sse bool, every, max int, jsonOut bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	c := history.NewContinuous()
+	n, first := 0, true
+	emit := func() error {
+		a := c.Result()
+		if jsonOut {
+			b, err := json.Marshal(a)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, string(b))
+			return err
+		}
+		_, err := fmt.Fprintf(w, "events=%d started=%d finished=%d failed=%d comp-rate=%.3f retries=%d sheds=%d breaker-trips=%d inflight=%d\n",
+			a.Events, a.Started, a.Finished, a.Failed, a.CompensationRate, a.Retries, a.Sheds, a.BreakerTrips, c.Inflight())
+		return err
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if sse {
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			line = strings.TrimPrefix(line, "data: ")
+		}
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			var h struct {
+				Schema string `json:"schema"`
+			}
+			if err := json.Unmarshal([]byte(line), &h); err == nil && h.Schema != "" {
+				switch h.Schema {
+				case history.Schema, obs.FlightSchema:
+					continue
+				default:
+					return fmt.Errorf("tail: unknown schema %q", h.Schema)
+				}
+			}
+		}
+		var ev history.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("tail: event %d: %w", n+1, err)
+		}
+		c.Feed(ev)
+		n++
+		if every > 0 && n%every == 0 {
+			if err := emit(); err != nil {
+				return err
+			}
+		}
+		if max > 0 && n >= max {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if every == 0 || n%every != 0 {
+		return emit()
+	}
+	return nil
+}
+
+// ---- wfquery reach ----
+
+func runReach(args []string) {
+	fs := flag.NewFlagSet("wfquery reach", flag.ExitOnError)
+	process := fs.String("process", "", "process template to analyze (default: the file's first process)")
+	target := fs.String("target", "", "activity asked about (dotted path or unique bare name; required)")
+	after := fs.String("after", "", "anchor activity: constrain to executions where it ran")
+	outcome := fs.String("outcome", "any", "how the anchor terminated: any, commit or abort (requires -after)")
+	jsonOut := fs.Bool("json", false, "print the result as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wfquery reach -target ACT [-after ACT [-outcome commit|abort]] [-process NAME] [-json] file.fdl\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	switch {
+	case fs.NArg() != 1:
+		usageError(fs, "reach wants exactly one FDL file argument")
+	case *target == "":
+		usageError(fs, "reach requires -target")
+	case *after == "" && *outcome != "any":
+		usageError(fs, "-outcome requires -after")
+	}
+	oc, err := fdl.ParseOutcome(*outcome)
+	if err != nil {
+		usageError(fs, err.Error())
+	}
+	file := loadFDL(fs.Arg(0))
+	proc := file.Process(pickProcess(file, *process))
+	res, err := fdl.Reach(fdl.ReachQuery{
+		Process: proc, From: *after, Outcome: oc, Target: *target,
+		CopyPrograms: []string{fmtm.CopyName},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	constraint := "unconstrained"
+	if res.From != "" {
+		constraint = fmt.Sprintf("after %s %s", res.From, *outcome)
+	}
+	switch {
+	case res.Infeasible:
+		fmt.Printf("reach %s: infeasible — no execution satisfies %s\n", res.Target, constraint)
+	case res.Reachable:
+		fmt.Printf("reach %s: reachable (%s)\n", res.Target, constraint)
+	default:
+		fmt.Printf("reach %s: unreachable (%s) — proof, no such execution exists\n", res.Target, constraint)
+	}
+}

@@ -28,7 +28,12 @@
 // per-client queue with -sse-buffer) and, with -pprof, /debug/pprof/*.
 // -linger-ms keeps the surface serving that long after the run completes
 // so a monitor attached late still sees it; -flight-recorder FILE dumps
-// the bus's retained event ring as JSONL at exit, success or failure:
+// the bus's retained event ring as JSONL at exit, success or failure.
+// -trail-export FILE streams every bus event to disk as a schema-stamped
+// history/v1 trail — unlike the flight recorder's bounded ring it
+// retains the whole run, and the writer is flushed on every exit path
+// (normal, fatal, forced second-signal exit), so even a killed run
+// leaves a queryable prefix for wfquery:
 //
 //	wfrun -process travel -n 8 -parallel 4 -metrics-addr :9090 -pprof travel.fdl
 //	wftop -addr localhost:9090
@@ -104,6 +109,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fdl"
 	"repro/internal/fmtm"
+	"repro/internal/history"
 	"repro/internal/obs"
 	"repro/internal/rm"
 	"repro/internal/wal"
@@ -140,11 +146,12 @@ func main() {
 	sseBuffer := flag.Int("sse-buffer", 256, "per-client event queue depth for the /events SSE tail (requires -metrics-addr)")
 	lingerMs := flag.Int("linger-ms", 0, "keep the ops HTTP surface serving this many milliseconds after the run completes (requires -metrics-addr)")
 	flightPath := flag.String("flight-recorder", "", "dump the flight recorder's retained events as JSONL to this file at exit, success or failure")
+	trailPath := flag.String("trail-export", "", "stream every bus event to this file as a history/v1 JSONL trail export (the whole run, flushed on every exit path — the input of wfquery agg/tail)")
 	var aborts, abortNs multiFlag
 	flag.Var(&aborts, "abort", "program that aborts on every attempt (repeatable)")
 	flag.Var(&abortNs, "abort-n", "program that aborts the first k attempts, as name=k (repeatable)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-breaker] [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir [-archive dir]] [-resume]] [-n fleet [-shards k] [-parallel p] [-max-queue n] [-shed]] [-metrics] [-metrics-addr :port [-pprof] [-sse-buffer n] [-linger-ms n]] [-flight-recorder file] [-spans] file.fdl\n")
+		fmt.Fprintf(os.Stderr, "usage: wfrun [-process name] [-abort prog]... [-abort-n prog=k]... [-breaker] [-wal file [-fsync] [-crash-at n] [-group-commit [-flush-ms n] [-batch n]] [-checkpoint dir [-archive dir]] [-resume]] [-n fleet [-shards k] [-parallel p] [-max-queue n] [-shed]] [-metrics] [-metrics-addr :port [-pprof] [-sse-buffer n] [-linger-ms n]] [-flight-recorder file] [-trail-export file] [-spans] file.fdl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -226,6 +233,19 @@ func main() {
 	} else if flightRec != nil {
 		obs.DefaultBus.Attach(flightRec.Record)
 	}
+	// The trail export taps the bus synchronously for the run's whole
+	// duration: unlike the flight recorder's ring it misses nothing, and
+	// its Close is wired into every exit path below so a fatal() or a
+	// forced second-signal exit still flushes a queryable prefix.
+	var trailW *history.Writer
+	if *trailPath != "" {
+		w, err := history.NewWriter(*trailPath)
+		if err != nil {
+			fatal(err)
+		}
+		w.Attach(obs.DefaultBus)
+		trailW = w
+	}
 	// Graceful shutdown: the first SIGINT/SIGTERM asks the run to drain —
 	// fleet mode stops admitting new instances and lets the ones in flight
 	// finish, after which the normal exit path stops the checkpointer,
@@ -238,6 +258,13 @@ func main() {
 		if flightRec != nil && *flightPath != "" {
 			if err := flightRec.DumpFile(*flightPath); err != nil {
 				fmt.Fprintf(os.Stderr, "wfrun: flight recorder: %v\n", err)
+			}
+		}
+		if trailW != nil {
+			// Idempotent: the normal return, fatal() and the forced-exit
+			// signal path all funnel here; the first close flushes.
+			if err := trailW.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "wfrun: trail export: %v\n", err)
 			}
 		}
 	}

@@ -96,6 +96,8 @@ type Engine struct {
 	breakers       map[string]Breaker
 	retryBudget    *RetryBudget
 
+	trailObs func(inst *Instance, ev Event)
+
 	instMu    sync.Mutex
 	instances []*Instance
 }
@@ -152,6 +154,20 @@ func WithMetrics(reg *obs.Registry) Option {
 // nothing is subscribed or attached to the bus.
 func WithBus(b *obs.Bus) Option {
 	return func(e *Engine) { e.bus = b }
+}
+
+// WithTrailObserver registers fn to be called synchronously after every
+// audit-trail append, on the goroutine that navigates the instance (with
+// the default concurrency of 1 that is the instance's single navigator
+// goroutine, so fn may call inst.Snapshot for a consistent view). It is
+// the as-of-T seam of the queryable-history layer: because recovery is
+// deterministic re-navigation that reproduces the identical trail,
+// replaying an instance under an observer revisits every historical
+// trail boundary in order — internal/history captures "state of X as of
+// boundary k" here, and the E13 soak runs the same observer on a live
+// instance as the equality oracle.
+func WithTrailObserver(fn func(inst *Instance, ev Event)) Option {
+	return func(e *Engine) { e.trailObs = fn }
 }
 
 // New returns an engine with the NOP program pre-registered.

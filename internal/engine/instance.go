@@ -493,6 +493,9 @@ func (inst *Instance) event(ev Event) {
 	ev.At = inst.eng.clock()
 	inst.trail = append(inst.trail, ev)
 	inst.publishTrail(ev)
+	if inst.eng.trailObs != nil {
+		inst.eng.trailObs(inst, ev)
+	}
 }
 
 // compensationActivityName is the well-known name the Figure 2/4

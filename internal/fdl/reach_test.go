@@ -1,0 +1,316 @@
+// Reachability tests live in an external test package so they can
+// exercise the analysis against real FMTM translations (fmtm imports
+// fdl, so an internal test would cycle).
+package fdl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atm/flexible"
+	"repro/internal/atm/saga"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/fdl"
+	"repro/internal/fmtm"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// fig3 translates the paper's figure-3 flexible transaction.
+func fig3(t *testing.T) *model.Process {
+	t.Helper()
+	p, err := fmtm.TranslateFlexible(&flexible.Spec{
+		Name: "Fig3",
+		Subs: []flexible.SubSpec{
+			{Name: "T1", Compensatable: true, Compensation: "C1"},
+			{Name: "T2"},
+			{Name: "T3", Retriable: true},
+			{Name: "T4"},
+			{Name: "T5", Compensatable: true, Compensation: "C5"},
+			{Name: "T6", Compensatable: true, Compensation: "C6"},
+			{Name: "T7", Retriable: true},
+			{Name: "T8"},
+		},
+		Paths: [][]string{
+			{"T1", "T2", "T4", "T5", "T6", "T8"},
+			{"T1", "T2", "T4", "T7"},
+			{"T1", "T2", "T3"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// trip translates the three-step travel saga.
+func trip(t *testing.T) *model.Process {
+	t.Helper()
+	p, err := fmtm.TranslateSaga(&saga.Spec{Name: "Trip", Steps: []saga.Step{
+		{Name: "book_flight", Compensation: "cancel_flight"},
+		{Name: "book_hotel", Compensation: "cancel_hotel"},
+		{Name: "book_car", Compensation: "cancel_car"},
+	}}, fmtm.SagaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func reach(t *testing.T, p *model.Process, from string, outcome fdl.Outcome, target string) *fdl.ReachResult {
+	t.Helper()
+	res, err := fdl.Reach(fdl.ReachQuery{
+		Process: p, From: from, Outcome: outcome, Target: target,
+		CopyPrograms: []string{fmtm.CopyName},
+	})
+	if err != nil {
+		t.Fatalf("reach(%s %v -> %s): %v", from, outcome, target, err)
+	}
+	return res
+}
+
+// assertPartition checks reachability of every activity of the process
+// against an expected reachable set.
+func assertPartition(t *testing.T, p *model.Process, from string, outcome fdl.Outcome, reachable ...string) {
+	t.Helper()
+	want := make(map[string]bool, len(reachable))
+	for _, r := range reachable {
+		want[r] = true
+	}
+	for _, path := range fdl.ActivityPaths(p) {
+		res := reach(t, p, from, outcome, path)
+		if res.Reachable != want[path] {
+			t.Errorf("after %s %v: reach(%s) = %v, want %v", from, outcome, path, res.Reachable, want[path])
+		}
+	}
+}
+
+// TestReachFlexibleAbort: after T2 aborts, only the already-run prefix
+// and T1's compensation path remain; the whole forward continuation is
+// provably dead.
+func TestReachFlexibleAbort(t *testing.T) {
+	assertPartition(t, fig3(t), "T2", fdl.OutcomeAbort,
+		"Blk1", "Blk1.T1", "T2", "Blk1_comp", "Blk1_comp.NOP", "Blk1_comp.C1")
+}
+
+// TestReachFlexibleCommit: after T2 commits, T1's compensation can
+// never run; everything downstream stays possible.
+func TestReachFlexibleCommit(t *testing.T) {
+	p := fig3(t)
+	var reachable []string
+	for _, path := range fdl.ActivityPaths(p) {
+		if !strings.HasPrefix(path, "Blk1_comp") {
+			reachable = append(reachable, path)
+		}
+	}
+	assertPartition(t, p, "T2", fdl.OutcomeCommit, reachable...)
+}
+
+// TestReachFlexibleCorrelated pins the correlation the backward pass
+// buys: "T6 ran" implies T5, T4 and T2 all committed, so the
+// alternative path T3, the commit continuation T8 and T6's own
+// compensation C6 are all provably unreachable after a T6 abort — while
+// C5 (compensating the committed T5) and the retriable T7 remain.
+func TestReachFlexibleCorrelated(t *testing.T) {
+	assertPartition(t, fig3(t), "T6", fdl.OutcomeAbort,
+		"Blk1", "Blk1.T1", "T2", "T4", "Blk2", "Blk2.T5", "Blk2.T6",
+		"Blk2_comp", "Blk2_comp.NOP", "Blk2_comp.C5", "T7")
+
+	// After T6 commits the picture flips: T8 and (via a possible T8
+	// abort) the compensation block stay live, C6 is triggerable only
+	// through T8's abort wiring, but T3 is still dead — T4 committed.
+	p := fig3(t)
+	for _, want := range []struct {
+		target string
+		ok     bool
+	}{
+		{"T8", true}, {"Blk2_comp", true}, {"Blk2_comp.C6", true}, {"T7", true},
+		{"T3", false}, {"Blk1_comp.C1", false},
+	} {
+		if res := reach(t, p, "T6", fdl.OutcomeCommit, want.target); res.Reachable != want.ok {
+			t.Errorf("after T6 commit: reach(%s) = %v, want %v", want.target, res.Reachable, want.ok)
+		}
+	}
+}
+
+// TestReachSaga checks the translated saga: a committed last step
+// proves the compensation block dead; an aborted last step compensates
+// exactly the committed prefix (cancel_car itself can never run — there
+// is nothing to undo).
+func TestReachSaga(t *testing.T) {
+	p := trip(t)
+	for _, want := range []struct {
+		outcome fdl.Outcome
+		target  string
+		ok      bool
+	}{
+		{fdl.OutcomeCommit, "Compensation", false},
+		{fdl.OutcomeCommit, "Compensation.cancel_flight", false},
+		{fdl.OutcomeAbort, "Compensation", true},
+		{fdl.OutcomeAbort, "Compensation.cancel_hotel", true},
+		{fdl.OutcomeAbort, "Compensation.cancel_flight", true},
+		{fdl.OutcomeAbort, "Compensation.cancel_car", false},
+	} {
+		if res := reach(t, p, "book_car", want.outcome, want.target); res.Reachable != want.ok {
+			t.Errorf("after book_car %v: reach(%s) = %v, want %v", want.outcome, want.target, res.Reachable, want.ok)
+		}
+	}
+	// An aborted first step kills the rest of the forward chain.
+	for _, target := range []string{"Forward.book_hotel", "Forward.book_car"} {
+		if res := reach(t, p, "book_flight", fdl.OutcomeAbort, target); res.Reachable {
+			t.Errorf("after book_flight abort: reach(%s) = true, want false", target)
+		}
+	}
+}
+
+// TestReachNoAnchor: with no constraint every activity of both
+// translations may run.
+func TestReachNoAnchor(t *testing.T) {
+	for _, p := range []*model.Process{fig3(t), trip(t)} {
+		for _, path := range fdl.ActivityPaths(p) {
+			if res := reach(t, p, "", fdl.OutcomeAny, path); !res.Reachable {
+				t.Errorf("%s: unconstrained reach(%s) = false", p.Name, path)
+			}
+		}
+	}
+}
+
+// TestReachAnchorIsTarget: the anchor ran by definition.
+func TestReachAnchorIsTarget(t *testing.T) {
+	if res := reach(t, fig3(t), "T2", fdl.OutcomeAbort, "T2"); !res.Reachable {
+		t.Error("anchor not reachable from itself")
+	}
+}
+
+// TestReachResolveErrors: unknown names list the vocabulary, ambiguous
+// bare names (both compensation blocks own a NOP) are refused.
+func TestReachResolveErrors(t *testing.T) {
+	p := fig3(t)
+	_, err := fdl.Reach(fdl.ReachQuery{Process: p, Target: "T99"})
+	if err == nil || !strings.Contains(err.Error(), "no activity") || !strings.Contains(err.Error(), "Blk2.T6") {
+		t.Fatalf("unknown target error = %v", err)
+	}
+	_, err = fdl.Reach(fdl.ReachQuery{Process: p, Target: "NOP"})
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous target error = %v", err)
+	}
+	// A unique bare name resolves to its dotted path.
+	res := reach(t, p, "", fdl.OutcomeAny, "C5")
+	if res.Target != "Blk2_comp.C5" {
+		t.Fatalf("resolved target = %q, want Blk2_comp.C5", res.Target)
+	}
+}
+
+// TestReachInfeasible: a contradictory constraint set (the anchor's
+// start condition demands RC = 0 AND RC <> 0) and an anchor on an
+// unenterable cycle both yield infeasible, not a bogus yes/no.
+func TestReachInfeasible(t *testing.T) {
+	p := model.NewProcess("P")
+	p.Activities = []*model.Activity{
+		{Name: "A", Kind: model.KindProgram, Program: "a"},
+		{Name: "B", Kind: model.KindProgram, Program: "b"},
+		{Name: "X", Kind: model.KindProgram, Program: "x"},
+		{Name: "Y", Kind: model.KindProgram, Program: "y"},
+	}
+	p.Control = []*model.ControlConnector{
+		{From: "A", To: "B", Condition: expr.MustParse("RC = 0 AND RC <> 0")},
+		{From: "X", To: "Y", Condition: nil},
+		{From: "Y", To: "X", Condition: nil},
+	}
+	res, err := fdl.Reach(fdl.ReachQuery{Process: p, From: "B", Outcome: fdl.OutcomeCommit, Target: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Infeasible || res.Reachable {
+		t.Fatalf("contradictory anchor: %+v, want infeasible", res)
+	}
+	res, err = fdl.Reach(fdl.ReachQuery{Process: p, From: "X", Outcome: fdl.OutcomeAny, Target: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Infeasible || res.Reachable {
+		t.Fatalf("unenterable anchor: %+v, want infeasible", res)
+	}
+}
+
+// enginePath normalizes an engine activity path (Blk2#0/T6) to the
+// analysis' dotted form (Blk2.T6).
+func enginePath(p string) string {
+	segs := strings.Split(p, "/")
+	for i, s := range segs {
+		if j := strings.IndexByte(s, '#'); j >= 0 {
+			segs[i] = s[:j]
+		}
+	}
+	return strings.Join(segs, ".")
+}
+
+// runFig3 executes the translated process on a real engine with
+// scripted return codes and reports which activities finished.
+func runFig3(t *testing.T, rcs map[string]int64) map[string]bool {
+	t.Helper()
+	p := fig3(t)
+	ran := make(map[string]bool)
+	e := engine.New(
+		engine.WithMetrics(obs.NewRegistry()),
+		engine.WithTrailObserver(func(inst *engine.Instance, ev engine.Event) {
+			if ev.Kind == engine.EvFinished && ev.Path != "" {
+				ran[enginePath(ev.Path)] = true
+			}
+		}))
+	if err := fmtm.RegisterRuntime(e); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "C1", "C5", "C6"} {
+		rc := rcs[name]
+		if err := e.RegisterProgram(name, engine.ProgramFunc(func(inv *engine.Invocation) error {
+			inv.Out.SetRC(rc)
+			return nil
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstanceID("Fig3", "wf-reach", nil, wal.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return ran
+}
+
+// TestReachSoundness is the dynamic check of the over-approximation
+// contract: every activity that actually finishes in an execution
+// satisfying the constraint must be reported reachable. (A "no" from
+// the analysis is a proof; a run contradicting one would be a bug.)
+func TestReachSoundness(t *testing.T) {
+	p := fig3(t)
+	scenarios := []struct {
+		name    string
+		rcs     map[string]int64
+		from    string
+		outcome fdl.Outcome
+	}{
+		{"t2-aborts", map[string]int64{"T2": 1}, "T2", fdl.OutcomeAbort},
+		{"t6-aborts", map[string]int64{"T6": 1}, "T6", fdl.OutcomeAbort},
+		{"all-commit", map[string]int64{}, "T6", fdl.OutcomeCommit},
+	}
+	for _, sc := range scenarios {
+		ran := runFig3(t, sc.rcs)
+		if len(ran) == 0 {
+			t.Fatalf("%s: nothing ran", sc.name)
+		}
+		for path := range ran {
+			res := reach(t, p, sc.from, sc.outcome, path)
+			if !res.Reachable {
+				t.Errorf("%s: %s finished in the run but reach says unreachable", sc.name, path)
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package history
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// Source locates a run's write-ahead state on disk — the input of the
+// time-travel query class. Layouts are the ones wfrun produces: a single
+// log file, a segment directory (with an optional separate checkpoint
+// directory, wfrun -checkpoint), or a sharded fleet root whose shard-NN/
+// subdirectories each hold segments and co-located checkpoints.
+type Source struct {
+	// WAL is the log file, segment directory, or sharded fleet root.
+	WAL string
+	// Checkpoint is a separate checkpoint directory (wfrun -checkpoint);
+	// empty means checkpoints are co-located with the segments (the
+	// sharded layout) or absent.
+	Checkpoint string
+	// Full forces the full-history rung — read and demultiplex the
+	// entire WAL even when a usable checkpoint exists. It is the
+	// baseline B16 measures the checkpoint ladder against.
+	Full bool
+}
+
+// Stats reports how a time-travel query was satisfied: which recovery
+// rung supplied the queried instance's records, and how much history had
+// to be read versus replayed. The B16 table gates the bounded path's
+// advantage on these.
+type Stats struct {
+	// Rung is the checkpoint-ladder rung (wal.SourceNewestCheckpoint,
+	// wal.SourcePreviousCheckpoint, wal.SourceFullReplay) that supplied
+	// the records.
+	Rung string
+	// RecordsRead counts records parsed from disk to find the instance;
+	// RecordsReplayed counts the instance's own records handed to the
+	// replay engine.
+	RecordsRead     int
+	RecordsReplayed int
+	// Shards is the number of shard directories probed (0 for unsharded
+	// layouts).
+	Shards int
+}
+
+// filterInstance keeps records of one instance, preserving order.
+func filterInstance(records []wal.Record, id string) []wal.Record {
+	var out []wal.Record
+	for _, r := range records {
+		if r.Instance == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// demuxLive splits a checkpoint's compacted live-instance records by
+// instance.
+func demuxLive(records []wal.Record) map[string][]wal.Record {
+	m := make(map[string][]wal.Record)
+	for _, r := range records {
+		m[r.Instance] = append(m[r.Instance], r)
+	}
+	return m
+}
+
+// shardDirs lists shard-NN subdirectories of root, or nil when root is
+// not a sharded fleet layout.
+func shardDirs(root string) []string {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			var n int
+			if _, err := fmt.Sscanf(e.Name(), "shard-%02d", &n); err == nil {
+				dirs = append(dirs, filepath.Join(root, e.Name()))
+			}
+		}
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// Records returns the WAL records needed to replay instance id, walking
+// the same recovery ladder as wfrun -resume: the newest usable
+// checkpoint's compacted records plus the repaired segment tail when the
+// instance is live in it, the full (repaired) history otherwise — or
+// always, with Full set. Sharded roots are probed shard by shard through
+// their bounded views first, so locating one instance in a fleet never
+// costs a fleet-wide scan while a checkpoint covers it.
+func (s *Source) Records(id string) ([]wal.Record, *Stats, error) {
+	fi, err := os.Stat(s.WAL)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !fi.IsDir() {
+		// Single log file: there is no checkpoint to bound the read, so
+		// full history is the only rung. Tolerant read: a torn tail from
+		// a crashed run must not block post-mortem queries.
+		all, _, err := wal.ReadFileTolerant(s.WAL)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs := filterInstance(all, id)
+		st := &Stats{Rung: wal.SourceFullReplay, RecordsRead: len(all), RecordsReplayed: len(recs)}
+		if len(recs) == 0 {
+			return nil, st, fmt.Errorf("history: instance %s not found in %s", id, s.WAL)
+		}
+		return recs, st, nil
+	}
+	if shards := shardDirs(s.WAL); len(shards) > 0 {
+		st := &Stats{Shards: len(shards)}
+		// Bounded pass over every shard first; only then full scans.
+		for _, dir := range shards {
+			recs, dst, found, err := s.fromDir(dir, dir, id, false)
+			if err != nil {
+				return nil, st, err
+			}
+			st.RecordsRead += dst.RecordsRead
+			if found {
+				st.Rung, st.RecordsReplayed = dst.Rung, dst.RecordsReplayed
+				return recs, st, nil
+			}
+		}
+		for _, dir := range shards {
+			recs, dst, found, err := s.fromDir(dir, dir, id, true)
+			if err != nil {
+				return nil, st, err
+			}
+			st.RecordsRead += dst.RecordsRead
+			if found {
+				st.Rung, st.RecordsReplayed = dst.Rung, dst.RecordsReplayed
+				return recs, st, nil
+			}
+		}
+		return nil, st, fmt.Errorf("history: instance %s not found in any shard under %s", id, s.WAL)
+	}
+	ckpt := s.Checkpoint
+	if ckpt == "" {
+		ckpt = s.WAL // co-located (fleet shard layout, E9 soak layout)
+	}
+	recs, st, found, err := s.fromDir(s.WAL, ckpt, id, s.Full)
+	if err != nil {
+		return nil, st, err
+	}
+	if !found && !s.Full {
+		recs, st, found, err = s.fromDir(s.WAL, ckpt, id, true)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	if !found {
+		return nil, st, fmt.Errorf("history: instance %s not found in %s", id, s.WAL)
+	}
+	return recs, st, nil
+}
+
+// fromDir resolves one segment directory (checkpoints in ckptDir). With
+// full set — or when no usable checkpoint exists — it reads everything;
+// otherwise it loads the newest checkpoint and the post-cover tail, and
+// reports found only if the instance is live in that bounded view (a
+// Done instance's compacted records are gone from the checkpoint, so
+// intermediate states need the full-history rung).
+func (s *Source) fromDir(segDir, ckptDir, id string, full bool) ([]wal.Record, *Stats, bool, error) {
+	st := &Stats{}
+	if !full {
+		cp, rung, err := wal.LoadCheckpointStore(ckptDir, nil)
+		if err != nil {
+			return nil, st, false, err
+		}
+		if cp != nil {
+			tail, _, err := wal.RepairSegments(segDir, cp.Cover)
+			if err != nil {
+				return nil, st, false, err
+			}
+			st.Rung = rung
+			st.RecordsRead = len(cp.Records) + len(tail)
+			live := demuxLive(cp.Records)[id]
+			tailRecs := filterInstance(tail, id)
+			switch {
+			case len(live) > 0:
+				recs := append(append([]wal.Record{}, live...), tailRecs...)
+				st.RecordsReplayed = len(recs)
+				return recs, st, true, nil
+			case len(tailRecs) > 0 && tailRecs[0].Type == wal.RecCreated:
+				// Born after the checkpoint's cover: the tail is complete.
+				st.RecordsReplayed = len(tailRecs)
+				return tailRecs, st, true, nil
+			default:
+				// Done before the checkpoint (or unknown): needs the full rung.
+				return nil, st, false, nil
+			}
+		}
+		// No usable checkpoint: fall through to full replay.
+	}
+	all, _, err := wal.RepairSegments(segDir, 0)
+	if err != nil {
+		return nil, st, false, err
+	}
+	st.Rung = wal.SourceFullReplay
+	st.RecordsRead = len(all)
+	recs := filterInstance(all, id)
+	st.RecordsReplayed = len(recs)
+	return recs, st, len(recs) > 0, nil
+}
+
+// Builder constructs a fresh engine with the run's programs and process
+// templates registered; the time-travel query appends its own options
+// (the trail observer) when replaying. cmd/wfquery builds one from the
+// FDL file; the sim soaks reuse their workload builders.
+type Builder func(opts ...engine.Option) (*engine.Engine, error)
+
+// StateAsOf replays instance id from its records and returns its
+// snapshot as of trail boundary k — the state the live instance had just
+// after appending its k-th audit-trail event (1-based; k <= 0 means the
+// newest boundary). Recovery is deterministic re-navigation that
+// reproduces the identical trail (E4/E9), so the replay revisits every
+// historical boundary in order and the trail observer captures the one
+// asked for; E13 proves the result identical to a live Instance.Snapshot
+// taken at the same boundary. The returned count is the total number of
+// boundaries the replay visited.
+//
+// A record set that ends mid-activity (a crashed run) replays cleanly up
+// to its last logged completion; querying a boundary past recorded
+// history is an error, and whatever the engine does beyond the log
+// (wfquery registers halting stub programs there) cannot disturb
+// already-captured snapshots.
+func StateAsOf(build Builder, records []wal.Record, id string, k int) (*engine.InstanceSnapshot, int, error) {
+	recs := filterInstance(records, id)
+	if len(recs) == 0 {
+		return nil, 0, fmt.Errorf("history: no records for instance %s", id)
+	}
+	var snap *engine.InstanceSnapshot
+	n := 0
+	e, err := build(engine.WithTrailObserver(func(inst *engine.Instance, ev engine.Event) {
+		if inst.ID() != id {
+			return
+		}
+		n++
+		if n == k || k <= 0 {
+			snap = inst.Snapshot()
+		}
+	}))
+	if err != nil {
+		return nil, 0, err
+	}
+	_, rerr := engine.Recover(e, recs, wal.Discard)
+	if snap != nil && (k <= 0 || snap.TrailLen == k) {
+		return snap, n, nil
+	}
+	if rerr != nil {
+		return nil, n, rerr
+	}
+	return nil, n, fmt.Errorf("history: instance %s has %d trail boundaries, none numbered %d", id, n, k)
+}
+
+// StateAt resolves the instance's records through the source's recovery
+// ladder and replays to boundary k — the whole time-travel query in one
+// step.
+func (s *Source) StateAt(build Builder, id string, k int) (*engine.InstanceSnapshot, int, *Stats, error) {
+	recs, st, err := s.Records(id)
+	if err != nil {
+		return nil, 0, st, err
+	}
+	snap, n, err := StateAsOf(build, recs, id, k)
+	return snap, n, st, err
+}

@@ -1,0 +1,167 @@
+// Package history is the post-hoc observability layer: it turns the
+// event-sourced remains of a run — WAL segments, checkpoints,
+// flight-recorder JSONL, sharded shard-NN/ layouts, and the streaming
+// history/v1 trail export — into a queryable store. Three query classes
+// are served (cmd/wfquery is the CLI face):
+//
+//   - time travel: "state of instance X as of trail boundary T",
+//     reconstructed by deterministic re-navigation through the existing
+//     checkpoint recovery ladder with a trail observer capturing the
+//     snapshot at boundary T (StateAsOf). The E13 soak proves every
+//     reconstructed snapshot identical to a live Instance.Snapshot taken
+//     at the same boundary.
+//   - fleet aggregations: failure causes, compensation rates,
+//     shed/retry/breaker-trip counts, and per-program latency
+//     p50/p95/p99 from dispatch/finished event pairs (Continuous fed to
+//     completion, or Store.Aggregate).
+//   - continuous queries: the same predicates evaluated incrementally
+//     over a live /events SSE tail with bounded memory (Continuous).
+//
+// The metrics registry (PR 2) answers "how much, right now", the live
+// plane (PR 5) answers "what is happening", and this package answers
+// "what happened, and what was true at T".
+package history
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Schema identifies the history/v1 trail-export layout: a JSONL stream
+// whose first line is {"schema":"history/v1"} and whose remaining lines
+// are flight-recorder events (the obs.Event wire format, pinned by the
+// golden-schema test in internal/obs) extended with a global "seq"
+// assigned at export time. Flight-recorder dumps (obs.FlightSchema) are
+// the same event vocabulary without seq and bounded by the ring size;
+// Load ingests both.
+const Schema = "history/v1"
+
+// Event is one normalized history/v1 event. The JSON field names are the
+// obs.Event wire format plus "seq"; a flight-recorder line decodes into
+// the same struct with Seq left zero (Load then assigns file order).
+type Event struct {
+	Seq      int64  `json:"seq,omitempty"`
+	Kind     string `json:"kind"`
+	Instance string `json:"inst,omitempty"`
+	Path     string `json:"path,omitempty"`
+	Iter     int    `json:"iter,omitempty"`
+	Program  string `json:"prog,omitempty"`
+	Cause    string `json:"cause,omitempty"`
+	RC       int64  `json:"rc,omitempty"`
+	N        int64  `json:"n,omitempty"`
+	Shard    int    `json:"shard,omitempty"`
+	DurNs    int64  `json:"dur_ns,omitempty"`
+	At       int64  `json:"at_ns"`
+}
+
+// FromObs normalizes a bus event; the export-time sequence number is
+// assigned by the Writer (or by Load, for stamped files without one).
+func FromObs(ev obs.Event) Event {
+	return Event{
+		Kind:     ev.Kind,
+		Instance: ev.Instance,
+		Path:     ev.Path,
+		Iter:     ev.Iter,
+		Program:  ev.Program,
+		Cause:    ev.Cause,
+		RC:       ev.RC,
+		N:        ev.N,
+		Shard:    ev.Shard,
+		DurNs:    ev.DurNs,
+		At:       ev.At,
+	}
+}
+
+// Subcommands lists cmd/wfquery's registered subcommands, sorted. It is
+// the canonical registry: the CLI dispatches exactly these, and doclint
+// -xref cross-checks OPERATIONS.md's wfquery one-liners against it so
+// documented recipes cannot drift from the binary (exit 2 on drift).
+func Subcommands() []string { return []string{"agg", "reach", "state", "tail"} }
+
+// Writer streams a history/v1 trail export to disk: a schema header
+// line, then one event per line with a monotonically increasing seq.
+// Attach it to a bus for the run's duration; unlike the flight
+// recorder's bounded ring it retains everything. Events may arrive from
+// many publisher goroutines, so Record serializes internally. Writes are
+// buffered; Close (idempotent, safe on every exit path — wfrun calls it
+// from the fatal path too) flushes, so a crashed run keeps a queryable
+// prefix.
+type Writer struct {
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	seq    int64
+	err    error
+	closed bool
+	detach func()
+}
+
+// NewWriter creates (truncating) the export file and writes the schema
+// header.
+func NewWriter(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f, bw: bufio.NewWriter(f)}
+	if _, err := fmt.Fprintf(w.bw, "{\"schema\":%q}\n", Schema); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Record appends one event; it is the bus-tap entry point. Write errors
+// are sticky and surfaced by Close.
+func (w *Writer) Record(ev obs.Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.err != nil {
+		return
+	}
+	w.seq++
+	e := FromObs(ev)
+	e.Seq = w.seq
+	if err := encodeEvent(w.bw, e); err != nil {
+		w.err = err
+	}
+}
+
+// Attach subscribes the writer to the bus as a synchronous tap (it never
+// misses an event) and remembers the detach handle for Close.
+func (w *Writer) Attach(b *obs.Bus) {
+	w.detach = b.Attach(w.Record)
+}
+
+// Events reports how many events have been written.
+func (w *Writer) Events() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Close detaches from the bus, flushes and closes the file. It is
+// idempotent: every wfrun exit path — normal return, fatal(), forced
+// second-signal exit — may call it, and the first call wins.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if w.detach != nil {
+		w.detach()
+	}
+	if err := w.bw.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	if err := w.f.Close(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}

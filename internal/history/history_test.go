@@ -1,0 +1,301 @@
+package history
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// chainProcess builds A -> B -> C with RC=0 transition conditions.
+func chainProcess(name string) *model.Process {
+	p := model.NewProcess(name)
+	for _, n := range []string{"A", "B", "C"} {
+		p.Activities = append(p.Activities, &model.Activity{Name: n, Kind: model.KindProgram, Program: "ok"})
+	}
+	p.Control = []*model.ControlConnector{
+		{From: "A", To: "B", Condition: expr.MustParse("RC = 0")},
+		{From: "B", To: "C", Condition: expr.MustParse("RC = 0")},
+	}
+	return p
+}
+
+// buildChain is the test Builder: a fresh engine with the "ok" program
+// and the Chain process registered.
+func buildChain(opts ...engine.Option) (*engine.Engine, error) {
+	e := engine.New(opts...)
+	if err := e.RegisterProgram("ok", engine.ProgramFunc(func(inv *engine.Invocation) error {
+		inv.Out.SetRC(0)
+		return nil
+	})); err != nil {
+		return nil, err
+	}
+	if err := e.RegisterProcess(chainProcess("Chain")); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func runChain(t *testing.T, id string, log wal.Log, opts ...engine.Option) *engine.Instance {
+	t.Helper()
+	e, err := buildChain(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := e.CreateInstanceID("Chain", id, nil, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trail.jsonl")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := obs.NewBus()
+	w.Attach(bus)
+	runChain(t, "wf-1", wal.Discard, engine.WithBus(bus), engine.WithMetrics(obs.NewRegistry()))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != Schema {
+		t.Fatalf("schema = %q, want %q", s.Schema, Schema)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("no events exported")
+	}
+	for i, ev := range s.Events {
+		if ev.Seq != int64(i)+1 {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	agg := s.Aggregate()
+	if agg.Started != 1 || agg.Finished != 1 || agg.Failed != 0 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if len(agg.Latency) != 1 || agg.Latency["ok"].Count != 3 {
+		t.Fatalf("latency pairs = %+v, want 3 'ok' pairs", agg.Latency)
+	}
+}
+
+func TestLoadFlightDumpAndBareJSONL(t *testing.T) {
+	bus := obs.NewBus()
+	rec := obs.NewRecorder(64)
+	detach := bus.Attach(rec.Record)
+	runChain(t, "wf-1", wal.Discard, engine.WithBus(bus), engine.WithMetrics(obs.NewRegistry()))
+	detach()
+
+	// Stamped flight dump.
+	dir := t.TempDir()
+	flight := filepath.Join(dir, "flight.jsonl")
+	if err := rec.DumpFile(flight); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != obs.FlightSchema {
+		t.Fatalf("schema = %q, want %q", s.Schema, obs.FlightSchema)
+	}
+	if got := s.Aggregate().Finished; got != 1 {
+		t.Fatalf("finished = %d", got)
+	}
+
+	// Bare pre-stamp JSONL (header stripped) still loads.
+	raw, err := os.ReadFile(flight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(raw), "\n", 2)
+	bare := filepath.Join(dir, "bare.jsonl")
+	if err := os.WriteFile(bare, []byte(lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Schema != "" || len(s2.Events) != len(s.Events) {
+		t.Fatalf("bare load: schema %q, %d events, want \"\" and %d", s2.Schema, len(s2.Events), len(s.Events))
+	}
+
+	// Unknown schema stamps are rejected, not misread.
+	alien := filepath.Join(dir, "alien.jsonl")
+	if err := os.WriteFile(alien, []byte("{\"schema\":\"history/v99\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(alien); err == nil || !strings.Contains(err.Error(), "unknown schema") {
+		t.Fatalf("alien schema accepted: %v", err)
+	}
+}
+
+// TestContinuousEqualsBatchAtEveryPrefix pins the continuous-query
+// contract: Result() after feeding k events equals the batch aggregation
+// of the first k events, for every k.
+func TestContinuousEqualsBatchAtEveryPrefix(t *testing.T) {
+	bus := obs.NewBus()
+	rec := obs.NewRecorder(256)
+	detach := bus.Attach(rec.Record)
+	for _, id := range []string{"wf-1", "wf-2", "wf-3"} {
+		runChain(t, id, wal.Discard, engine.WithBus(bus), engine.WithMetrics(obs.NewRegistry()))
+	}
+	detach()
+	s := FromEvents(rec.Events())
+	c := NewContinuous()
+	for k, ev := range s.Events {
+		c.Feed(ev)
+		batch := &Store{Events: s.Events[:k+1]}
+		if got, want := c.Result(), batch.Aggregate(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("prefix %d: continuous %+v != batch %+v", k+1, got, want)
+		}
+	}
+}
+
+// TestContinuousBoundedMemory pins the leak-resistance property: an
+// unending stream of instances (including failing ones whose dispatched
+// activity never finishes) keeps the in-flight pair table bounded.
+func TestContinuousBoundedMemory(t *testing.T) {
+	c := NewContinuous()
+	for i := 0; i < 1000; i++ {
+		inst := "wf"
+		c.Feed(Event{Kind: obs.EvInstanceStarted, Instance: inst})
+		c.Feed(Event{Kind: obs.EvActivityDispatch, Instance: inst, Path: "A", At: 10})
+		// The activity never finishes: the instance fails.
+		c.Feed(Event{Kind: obs.EvInstanceFailed, Instance: inst, Cause: "boom"})
+	}
+	if c.Inflight() != 0 {
+		t.Fatalf("inflight = %d after terminal events, want 0", c.Inflight())
+	}
+	if c.MaxInflight() != 1 {
+		t.Fatalf("max inflight = %d, want 1", c.MaxInflight())
+	}
+	a := c.Result()
+	if a.Failed != 1000 || a.Causes["boom"] != 1000 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+}
+
+// TestStateAsOfEveryBoundary is the unit-level time-travel oracle: a
+// live chain run records a snapshot at every trail boundary through the
+// observer seam; replaying the WAL records with StateAsOf must
+// reconstruct each of them exactly. (E13 scales this to the reference
+// workloads, a checkpointed segment directory and a 3-shard fleet.)
+func TestStateAsOfEveryBoundary(t *testing.T) {
+	var oracle []*engine.InstanceSnapshot
+	log := &wal.MemLog{}
+	runChain(t, "wf-1", log,
+		engine.WithMetrics(obs.NewRegistry()),
+		engine.WithTrailObserver(func(inst *engine.Instance, ev engine.Event) {
+			oracle = append(oracle, inst.Snapshot())
+		}))
+	if len(oracle) == 0 {
+		t.Fatal("no boundaries observed")
+	}
+	for k := 1; k <= len(oracle); k++ {
+		snap, n, err := StateAsOf(buildChain, log.Records(), "wf-1", k)
+		if err != nil {
+			t.Fatalf("boundary %d: %v", k, err)
+		}
+		if n != len(oracle) {
+			t.Fatalf("boundary %d: replay visited %d boundaries, live run had %d", k, n, len(oracle))
+		}
+		if !snap.Equal(oracle[k-1]) {
+			t.Fatalf("boundary %d: replayed snapshot %+v != live %+v", k, snap, oracle[k-1])
+		}
+	}
+	// k <= 0 returns the newest boundary.
+	snap, _, err := StateAsOf(buildChain, log.Records(), "wf-1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Equal(oracle[len(oracle)-1]) {
+		t.Fatal("newest-boundary query != final live snapshot")
+	}
+	// Past the recorded history is an error, not a guess.
+	if _, _, err := StateAsOf(buildChain, log.Records(), "wf-1", len(oracle)+1); err == nil {
+		t.Fatal("boundary past recorded history accepted")
+	}
+}
+
+// TestSourceCheckpointLadder pins the rung selection of Source.Records:
+// an instance live in the newest checkpoint resolves through the bounded
+// view (reading checkpoint + tail, not the whole history); an instance
+// that finished before the checkpoint needs the full rung; a fresh
+// instance born after the cover resolves from the tail alone.
+func TestSourceCheckpointLadder(t *testing.T) {
+	dir := t.TempDir()
+	seg, err := wal.OpenSegmentedLog(dir, wal.SegmentMaxRecords(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two instances finish before the checkpoint; one is created after.
+	runChain(t, "wf-done-1", seg, engine.WithMetrics(obs.NewRegistry()))
+	runChain(t, "wf-done-2", seg, engine.WithMetrics(obs.NewRegistry()))
+	ck := engine.NewCheckpointer(seg, engine.CheckpointDir(dir))
+	if err := ck.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	runChain(t, "wf-live", seg, engine.WithMetrics(obs.NewRegistry()))
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src := &Source{WAL: dir}
+	// Born after the cover: bounded view suffices.
+	recs, st, err := src.Records("wf-live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rung != wal.SourceNewestCheckpoint {
+		t.Fatalf("rung = %q, want %q", st.Rung, wal.SourceNewestCheckpoint)
+	}
+	snap, _, err := StateAsOf(buildChain, recs, "wf-live", 0)
+	if err != nil || snap.Status != "finished" {
+		t.Fatalf("live replay: %v, %+v", err, snap)
+	}
+
+	// Finished before the checkpoint: full-history rung.
+	_, st, err = src.Records("wf-done-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rung != wal.SourceFullReplay {
+		t.Fatalf("done instance rung = %q, want %q", st.Rung, wal.SourceFullReplay)
+	}
+
+	// Forced full baseline reads everything.
+	full := &Source{WAL: dir, Full: true}
+	_, fst, err := full.Records("wf-live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.Rung != wal.SourceFullReplay || fst.RecordsRead < st.RecordsRead {
+		t.Fatalf("full baseline stats = %+v", fst)
+	}
+
+	// Unknown instances are an error.
+	if _, _, err := src.Records("wf-nope"); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}

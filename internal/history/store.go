@@ -1,0 +1,115 @@
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// encodeEvent writes one event as a JSON line.
+func encodeEvent(w io.Writer, e Event) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Store is an in-memory, normalized event store loaded from a history/v1
+// trail export or a flight-recorder dump. Events keep file order; Seq is
+// always populated (assigned from file order when the source had none).
+type Store struct {
+	// Schema is the stamp the file carried: history.Schema,
+	// obs.FlightSchema, or "" for a bare pre-stamp flight dump.
+	Schema string
+	Events []Event
+}
+
+// header is the first-line schema stamp of stamped JSONL files.
+type header struct {
+	Schema string `json:"schema"`
+}
+
+// Load reads a JSONL event file: a history/v1 trail export, a flight/v1
+// recorder dump, or a bare (pre-stamp) flight dump. A stamped file whose
+// schema is not a known vocabulary is rejected — silent misreads are
+// exactly what the stamp exists to prevent.
+func Load(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read is Load over an open stream.
+func Read(r io.Reader) (*Store, error) {
+	s := &Store{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var h header
+			if err := json.Unmarshal(line, &h); err == nil && h.Schema != "" {
+				switch h.Schema {
+				case Schema, obs.FlightSchema:
+					s.Schema = h.Schema
+					continue
+				default:
+					return nil, fmt.Errorf("history: unknown schema %q (want %s or %s)", h.Schema, Schema, obs.FlightSchema)
+				}
+			}
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("history: line %d: %w", len(s.Events)+1, err)
+		}
+		if ev.Seq == 0 {
+			ev.Seq = int64(len(s.Events)) + 1
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// FromEvents builds a store from in-memory bus events (oldest first), as
+// returned by obs.Recorder.Events — the zero-serialization ingestion
+// path tests and the E13 soak use.
+func FromEvents(evs []obs.Event) *Store {
+	s := &Store{Schema: Schema}
+	for i, ev := range evs {
+		e := FromObs(ev)
+		e.Seq = int64(i) + 1
+		s.Events = append(s.Events, e)
+	}
+	return s
+}
+
+// Aggregate evaluates the fleet-aggregation query class over the whole
+// store. It is, by construction, the continuous query fed to completion:
+// one evaluator serves both the batch and the incremental path, so the
+// two can never disagree (E13 asserts the equivalence at every prefix
+// anyway).
+func (s *Store) Aggregate() *Aggregate {
+	c := NewContinuous()
+	for _, ev := range s.Events {
+		c.Feed(ev)
+	}
+	return c.Result()
+}

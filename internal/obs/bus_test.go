@@ -167,6 +167,15 @@ func TestRecorderDumpJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty dump")
+	}
+	var header struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil || header.Schema != FlightSchema {
+		t.Fatalf("first line %q is not the %s schema header (%v)", sc.Text(), FlightSchema, err)
+	}
 	var lines []Event
 	for sc.Scan() {
 		var ev Event
@@ -176,7 +185,7 @@ func TestRecorderDumpJSONL(t *testing.T) {
 		lines = append(lines, ev)
 	}
 	if len(lines) != 2 {
-		t.Fatalf("dumped %d lines, want 2", len(lines))
+		t.Fatalf("dumped %d event lines, want 2", len(lines))
 	}
 	if lines[0].Kind != EvInstanceCreated || lines[1].Kind != EvInstanceFailed {
 		t.Fatalf("order: %s, %s", lines[0].Kind, lines[1].Kind)

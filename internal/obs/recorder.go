@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"sync"
@@ -83,11 +84,23 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// DumpJSONL writes the retained events oldest-first, one JSON object per
-// line — the flight-recorder dump format consumed by post-mortem
-// tooling and uploaded as a CI artifact for soak runs.
+// FlightSchema identifies the flight-recorder JSONL dump layout. The
+// first line of every dump is a header object carrying it, so ingestion
+// tooling (wfquery) can refuse files whose event vocabulary it does not
+// understand instead of silently misreading them. Bump it when an
+// obs.Event field changes name, type or meaning — the golden-schema test
+// in schema_test.go pins the current wire format.
+const FlightSchema = "flight/v1"
+
+// DumpJSONL writes a schema header line followed by the retained events
+// oldest-first, one JSON object per line — the flight-recorder dump
+// format consumed by post-mortem tooling (wfquery ingestion) and
+// uploaded as a CI artifact for soak runs.
 func (r *Recorder) DumpJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\"schema\":%q}\n", FlightSchema); err != nil {
+		return err
+	}
 	enc := json.NewEncoder(bw)
 	for _, ev := range r.Events() {
 		if err := enc.Encode(ev); err != nil {

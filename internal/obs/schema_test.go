@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEventGoldenSchema pins the flight-recorder JSONL wire format.
+// wfquery (internal/history) ingests these lines long after the process
+// that wrote them is gone, so the encoding is a compatibility surface:
+// renaming a field, changing its type, or reordering the struct must
+// fail this test and force a FlightSchema bump, never silently change
+// the bytes on disk.
+func TestEventGoldenSchema(t *testing.T) {
+	// Every field populated, including Shard — the PR 8 addition that
+	// ingestion must not drop when demultiplexing sharded fleets.
+	ev := Event{
+		Kind:     EvShardRebalance,
+		Instance: "wf-0007",
+		Path:     "Compensation.C2",
+		Iter:     3,
+		Program:  "book_car",
+		Cause:    "boom",
+		RC:       4,
+		N:        2,
+		Shard:    5,
+		DurNs:    1500,
+		At:       123456789,
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"kind":"shard.rebalance","inst":"wf-0007","path":"Compensation.C2","iter":3,"prog":"book_car","cause":"boom","rc":4,"n":2,"shard":5,"dur_ns":1500,"at_ns":123456789}`
+	if string(b) != golden {
+		t.Fatalf("obs.Event wire format drifted:\n got %s\nwant %s\n(bump obs.FlightSchema and teach internal/history the new layout)", b, golden)
+	}
+
+	// Field-by-field pin: names, JSON tags and Go types, in order. A new
+	// field must be added here deliberately (and history/v1 extended).
+	want := []struct{ name, tag, typ string }{
+		{"Kind", "kind", "string"},
+		{"Instance", "inst,omitempty", "string"},
+		{"Path", "path,omitempty", "string"},
+		{"Iter", "iter,omitempty", "int"},
+		{"Program", "prog,omitempty", "string"},
+		{"Cause", "cause,omitempty", "string"},
+		{"RC", "rc,omitempty", "int64"},
+		{"N", "n,omitempty", "int64"},
+		{"Shard", "shard,omitempty", "int"},
+		{"DurNs", "dur_ns,omitempty", "int64"},
+		{"At", "at_ns", "int64"},
+	}
+	rt := reflect.TypeOf(Event{})
+	if rt.NumField() != len(want) {
+		t.Fatalf("obs.Event has %d fields, golden schema pins %d — extend the golden test and history/v1 together", rt.NumField(), len(want))
+	}
+	for i, w := range want {
+		f := rt.Field(i)
+		if f.Name != w.name || f.Tag.Get("json") != w.tag || f.Type.String() != w.typ {
+			t.Errorf("field %d = %s `json:%q` %s, want %s `json:%q` %s",
+				i, f.Name, f.Tag.Get("json"), f.Type, w.name, w.tag, w.typ)
+		}
+	}
+
+	// Zero-valued optional fields stay off the wire (dumps stay compact
+	// and ingestion treats absence as zero).
+	min, err := json.Marshal(Event{Kind: EvWalFlush, At: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(min) != `{"kind":"wal.flush","at_ns":7}` {
+		t.Fatalf("omitempty contract drifted: %s", min)
+	}
+}
+
+// TestDumpJSONLSchemaStamp pins the dump header: the first line of every
+// flight-recorder dump names the schema so ingestion can hard-fail on
+// vocabulary drift instead of misreading events.
+func TestDumpJSONLSchemaStamp(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(Event{Kind: EvInstanceFinished, Instance: "i1", At: 1})
+	var buf bytes.Buffer
+	if err := r.DumpJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump has %d lines, want header + 1 event:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != `{"schema":"flight/v1"}` {
+		t.Fatalf("header line = %s, want {\"schema\":\"flight/v1\"}", lines[0])
+	}
+}

@@ -15,9 +15,9 @@ import (
 	"repro/internal/wal"
 )
 
-// RunAllExperiments runs E1–E12 and returns their reports.
+// RunAllExperiments runs E1–E13 and returns their reports.
 func RunAllExperiments() []*Report {
-	return []*Report{RunE1(), RunE2(), RunE3(), RunE4(), RunE5(), RunE6(), RunE7(), RunE8(), RunE9(), RunE10(), RunE11(), RunE12()}
+	return []*Report{RunE1(), RunE2(), RunE3(), RunE4(), RunE5(), RunE6(), RunE7(), RunE8(), RunE9(), RunE10(), RunE11(), RunE12(), RunE13()}
 }
 
 // historyString renders a recorder history as a compact string.

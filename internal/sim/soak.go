@@ -30,8 +30,15 @@ func TravelSaga() *saga.Spec {
 // aborting, so every execution takes the compensation path. Shared by the
 // E7 and E9 soaks.
 func travelWorkload() (*engine.Engine, string) {
+	return travelWorkloadOpts()
+}
+
+// travelWorkloadOpts is travelWorkload with engine options — the E13
+// queryable-history soak threads a fresh metrics registry, bus and trail
+// observer through here.
+func travelWorkloadOpts(opts ...engine.Option) (*engine.Engine, string) {
 	spec := TravelSaga()
-	e := engine.New()
+	e := engine.New(opts...)
 	if err := fmtm.RegisterRuntime(e); err != nil {
 		panic(err)
 	}
@@ -54,8 +61,13 @@ func travelWorkload() (*engine.Engine, string) {
 // transaction with T6 aborting (C5 compensates, alternate path via T7).
 // Shared by the E7 and E9 soaks.
 func flexibleWorkload() (*engine.Engine, string) {
+	return flexibleWorkloadOpts()
+}
+
+// flexibleWorkloadOpts is flexibleWorkload with engine options (E13).
+func flexibleWorkloadOpts(opts ...engine.Option) (*engine.Engine, string) {
 	spec := Fig3Flexible()
-	e := engine.New()
+	e := engine.New(opts...)
 	if err := fmtm.RegisterRuntime(e); err != nil {
 		panic(err)
 	}
